@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper; the numbers
+are printed (run ``pytest benchmarks/ --benchmark-only -s`` to see them) and
+appended to ``benchmarks/results/*.txt`` so EXPERIMENTS.md can reference a
+stable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro import AnalysisOptions, analyze
+from repro.analysis.results import MomentBoundResult
+from repro.programs import registry
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_registered(
+    name: str,
+    moment_degree: int | None = None,
+    **overrides,
+) -> MomentBoundResult:
+    """Analyze a registered benchmark with its registered options."""
+    bench = registry.get(name)
+    options = AnalysisOptions(
+        moment_degree=moment_degree or bench.moment_degree,
+        template_degree=overrides.pop("template_degree", bench.template_degree),
+        degree_cap=overrides.pop("degree_cap", bench.degree_cap),
+        objective_valuations=overrides.pop(
+            "objective_valuations",
+            (bench.valuation,) + tuple(bench.extra_valuations),
+        ),
+        **overrides,
+    )
+    return analyze(registry.parsed(name), options)
+
+
+def emit(report_name: str, lines: list[str]) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{report_name}.txt").write_text(text + "\n")
+
+
+def fmt(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+        return f"{value:.4g}"
+    return f"{value:,.4g}"

@@ -1,0 +1,103 @@
+"""Fig. 10: analysis-time scaling on the synthetic program families.
+
+The paper's largest instances have N = 1000 states (~16 kLoC of generated
+code) and report near-linear growth of analysis time with N; this harness
+uses a smaller grid (Python vs. OCaml) and checks the same *shape*: time
+grows subquadratically — dominated by a linear term — in the number of
+functions.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _harness import emit
+from repro import AnalysisOptions, analyze
+from repro.programs.synthetic import (
+    coupon_chain,
+    coupon_chain_source,
+    rdwalk_chain,
+    rdwalk_chain_source,
+)
+
+COUPON_GRID = [1, 2, 4, 8, 16, 32, 64]
+WALK_GRID = [1, 2, 4, 8]
+
+
+def _time_analysis(program, moment_degree):
+    start = time.perf_counter()
+    analyze(
+        program,
+        AnalysisOptions(moment_degree=moment_degree, template_degree=1),
+    )
+    return time.perf_counter() - start
+
+
+def test_fig10a_coupon_chain(benchmark):
+    benchmark.pedantic(
+        lambda: _time_analysis(coupon_chain(8), 2), rounds=1, iterations=1
+    )
+    lines = [
+        "Fig. 10(a): coupon-collector chains, 2nd-moment analysis",
+        f"{'N':>6} {'functions':>10} {'src lines':>10} {'time (s)':>10}",
+    ]
+    times = []
+    for n in COUPON_GRID:
+        program = coupon_chain(n)
+        elapsed = _time_analysis(program, 2)
+        times.append(elapsed)
+        lines.append(
+            f"{n:>6} {len(program.functions):>10} "
+            f"{len(coupon_chain_source(n).splitlines()):>10} {elapsed:>10.3f}"
+        )
+    ratio = times[-1] / max(times[0], 1e-9)
+    growth = ratio / (COUPON_GRID[-1] / COUPON_GRID[0])
+    lines.append(f"time({COUPON_GRID[-1]}) / time({COUPON_GRID[0]}) = {ratio:.1f}x "
+                 f"for {COUPON_GRID[-1] // COUPON_GRID[0]}x programs "
+                 f"(per-N growth factor {growth:.2f})")
+    emit("fig10a_coupon_scaling", lines)
+    # Subquadratic shape: 32x more functions should cost far less than
+    # 32^2 = 1024x more time.
+    assert ratio < (COUPON_GRID[-1] / COUPON_GRID[0]) ** 2 / 4
+
+
+def test_fig10b_rdwalk_chain(benchmark):
+    benchmark.pedantic(
+        lambda: _time_analysis(rdwalk_chain(4), 2), rounds=1, iterations=1
+    )
+    lines = [
+        "Fig. 10(b): chained non-tail-recursive random walks, 2nd-moment analysis",
+        f"{'N':>6} {'functions':>10} {'src lines':>10} {'time (s)':>10}",
+    ]
+    times = []
+    for n in WALK_GRID:
+        program = rdwalk_chain(n)
+        elapsed = _time_analysis(program, 2)
+        times.append(elapsed)
+        lines.append(
+            f"{n:>6} {len(program.functions):>10} "
+            f"{len(rdwalk_chain_source(n).splitlines()):>10} {elapsed:>10.3f}"
+        )
+    ratio = times[-1] / max(times[0], 1e-9)
+    lines.append(f"time({WALK_GRID[-1]}) / time({WALK_GRID[0]}) = {ratio:.1f}x")
+    emit("fig10b_rdwalk_scaling", lines)
+    assert ratio < (WALK_GRID[-1] / WALK_GRID[0]) ** 2 * 4
+
+
+def test_chain_bounds_are_sound():
+    """The generated programs are not just analyzable — spot-check values."""
+    program = coupon_chain(4)
+    result = analyze(program, AnalysisOptions(moment_degree=2))
+    # E[draws] for 4 coupons = 4/4 + 4/3 + 4/2 + 4/1 = 25/3.
+    interval = result.raw_interval(1, {})
+    assert interval.hi == pytest.approx(25.0 / 3.0, rel=1e-4)
+
+    from repro.interp.mc import estimate_cost_statistics
+
+    walk = rdwalk_chain(2)
+    stats = estimate_cost_statistics(walk, n=1500, seed=23)
+    walk_result = analyze(walk, AnalysisOptions(moment_degree=2))
+    vals = {v: 0.0 for v in ("x", "s", "t")}
+    interval = walk_result.raw_interval(1, vals)
+    assert interval.lo - 1.0 <= stats.mean <= interval.hi + 1.0

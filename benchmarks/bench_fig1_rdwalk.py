@@ -1,0 +1,66 @@
+"""Fig. 1(b) and Fig. 1(c): the running example's bounds and tail bounds.
+
+Regenerates the moment-bound table (raw first/second moments and the
+variance of ``tick`` for the Fig. 2 random walk) and the three tail-bound
+curves ``P[tick >= 4d]``: Markov from the degree-1 raw moment ([31, 43]),
+Markov from the degree-2 raw moment ([26]), and Cantelli from the variance
+(this work).
+"""
+
+import pytest
+
+from _harness import emit, fmt, run_registered
+from repro.tail.bounds import cantelli_upper_tail, markov_tail
+
+VAL = {"d": 10.0, "x": 0.0, "t": 0.0}
+
+
+@pytest.fixture(scope="module")
+def rdwalk_result():
+    return run_registered(
+        "rdwalk", objective_valuations=(VAL, {"d": 500.0, "x": 0.0, "t": 0.0})
+    )
+
+
+def test_fig1b_moment_bounds(benchmark, rdwalk_result):
+    result = benchmark.pedantic(
+        lambda: run_registered("rdwalk"), rounds=1, iterations=1
+    )
+    lines = [
+        "Fig. 1(b): moment bounds for rdwalk's tick accumulator",
+        f"  derived  E[tick]   <= {result.upper_str(1)}   (paper: 2d + 4)",
+        f"  derived  E[tick]   >= {result.lower_str(1)}   (paper Fig. 7: 2(d-x))",
+        f"  derived  E[tick^2] <= {result.upper_str(2)}   (paper: 4d^2 + 22d + 28)",
+    ]
+    var = result.variance(VAL)
+    lines.append(
+        f"  V[tick] at d=10: {fmt(var.hi)}   (paper: 22d + 28 = 248)"
+    )
+    emit("fig1b_rdwalk_bounds", lines)
+    assert var.hi == pytest.approx(248.0, rel=1e-3)
+
+
+def test_fig1c_tail_bounds(rdwalk_result):
+    lines = [
+        "Fig. 1(c): P[tick >= 4d] upper bounds",
+        f"{'d':>6} {'Markov deg1':>12} {'Markov deg2':>12} {'Cantelli':>12}",
+    ]
+    crossover = None
+    for d in range(10, 81, 5):
+        val = {"d": float(d), "x": 0.0, "t": 0.0}
+        e1 = rdwalk_result.raw_interval(1, val)
+        e2 = rdwalk_result.raw_interval(2, val)
+        var = rdwalk_result.variance(val)
+        threshold = 4.0 * d
+        m1 = markov_tail(e1.hi, 1, threshold)
+        m2 = markov_tail(e2.hi, 2, threshold)
+        cant = cantelli_upper_tail(var.hi, e1.hi, threshold)
+        lines.append(f"{d:>6} {m1:>12.4f} {m2:>12.4f} {cant:>12.4f}")
+        if crossover is None and cant < min(m1, m2):
+            crossover = d
+    lines.append(
+        f"  central-moment bound becomes the most precise at d = {crossover} "
+        "(paper: d >= 15)"
+    )
+    emit("fig1c_rdwalk_tails", lines)
+    assert crossover is not None and crossover <= 20

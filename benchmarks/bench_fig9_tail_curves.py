@@ -1,0 +1,111 @@
+"""Figs. 9/15: tail-probability curves for the Kura suite.
+
+For each program, the upper bound on ``P[T >= d]`` over a threshold grid,
+from (a) the best Markov bound over raw moments up to degree 4 — the Kura
+et al. [26] methodology — and (b) Cantelli with the 2nd central moment and
+Chebyshev with the 4th central moment (this work).  The paper's headline:
+the central-moment curves dominate for large d.
+"""
+
+import pytest
+
+from _harness import emit, run_registered
+from repro.programs import registry
+from repro.programs.kura import KURA_NAMES
+from repro.tail.bounds import best_upper_tail
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: run_registered(name) for name in KURA_NAMES}
+
+
+def _curve(result, valuation, thresholds):
+    raw = [result.raw_interval(k, valuation) for k in range(5)]
+    central = {
+        2: result.variance(valuation),
+        4: result.central_interval(4, valuation),
+    }
+    rows = []
+    for d in thresholds:
+        bounds = best_upper_tail(raw, central, float(d))
+        markov_best = min(bounds.markov.values())
+        rows.append((d, markov_best, bounds.cantelli, bounds.chebyshev[4]))
+    return rows
+
+
+def test_fig9_curves(benchmark, results):
+    benchmark.pedantic(
+        lambda: _curve(
+            results["kura-2-1"], registry.get("kura-2-1").valuation, range(40, 400, 20)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    lines = ["Fig. 9/15: P[T >= d] upper bounds per program"]
+    wins = 0
+    comparisons = 0
+    for name in KURA_NAMES:
+        bench = registry.get(name)
+        result = results[name]
+        mean_hi = result.raw_interval(1, bench.valuation).hi
+        thresholds = [round(mean_hi * f) for f in (1.5, 2.0, 3.0, 5.0, 8.0)]
+        lines.append(f"-- {name} (E[T] <= {mean_hi:.4g})")
+        lines.append(
+            f"{'d':>8} {'Markov(deg<=4)':>15} {'Cantelli(2nd)':>14} {'Chebyshev(4th)':>15}"
+        )
+        for d, markov, cantelli, chebyshev in _curve(
+            result, bench.valuation, thresholds
+        ):
+            lines.append(
+                f"{d:>8} {markov:>15.5f} {cantelli:>14.5f} {chebyshev:>15.5f}"
+            )
+            comparisons += 1
+            if min(cantelli, chebyshev) <= markov + 1e-12:
+                wins += 1
+    lines.append(
+        f"central-moment bounds at least as tight on {wins}/{comparisons} grid points"
+    )
+    emit("fig9_tail_curves", lines)
+    # The curves cross (exactly as in the paper's plots); the claim is that
+    # central moments win in the tail — checked per-program below and in
+    # test_fig9_large_threshold_dominance.
+    assert wins >= comparisons * 0.3
+    # Paper: "outperforms the prior work on (1-1) and (1-2)" — strict wins
+    # already at moderate thresholds.
+    for name in ("kura-1-1", "kura-1-2"):
+        bench = registry.get(name)
+        result = results[name]
+        mean_hi = result.raw_interval(1, bench.valuation).hi
+        ((_, markov, cantelli, chebyshev),) = _curve(
+            result, bench.valuation, [3.0 * mean_hi]
+        )
+        assert min(cantelli, chebyshev) < markov, name
+
+
+def test_fig9_large_threshold_dominance(results):
+    """Asymptotics of the central-moment bounds, far in the tail.
+
+    * Cantelli ~ V/d^2 always beats Markov-deg-1 ~ E/d eventually.
+    * When the first-moment *lower* bound is informative (E_lo > 0), the
+      variance bound is strictly below E[T^2], so Cantelli also beats
+      Markov-deg-2; likewise Chebyshev-4th vs Markov-4th when the central
+      4th-moment bound is below the raw one.  (Wide lower intervals —
+      the conjunctive-guard 2D walks — inflate the central intervals via
+      interval dependency and void that advantage; the paper's Fig. 9 has
+      the same qualitative split between programs.)"""
+    for name in KURA_NAMES:
+        bench = registry.get(name)
+        result = results[name]
+        mean = result.raw_interval(1, bench.valuation)
+        raw = [result.raw_interval(k, bench.valuation) for k in range(5)]
+        central = {
+            2: result.variance(bench.valuation),
+            4: result.central_interval(4, bench.valuation),
+        }
+        bounds = best_upper_tail(raw, central, 1000.0 * mean.hi)
+        assert bounds.cantelli <= bounds.markov[1] + 1e-12, name
+        if mean.lo > 0:
+            assert bounds.cantelli <= bounds.markov[2] + 1e-12, name
+        if central[4].hi < raw[4].hi:
+            assert bounds.chebyshev[4] <= bounds.markov[4] + 1e-12, name

@@ -1,0 +1,38 @@
+"""Table 3: expected-runtime upper bounds for the Kura suite (degree 1)."""
+
+import pytest
+
+from _harness import emit, fmt, run_registered
+from repro.programs import registry
+from repro.programs.kura import KURA_NAMES
+
+
+def test_table3_expected_runtimes(benchmark):
+    benchmark.pedantic(
+        lambda: run_registered("kura-1-1", moment_degree=1), rounds=1, iterations=1
+    )
+    lines = [
+        "Table 3: upper bounds on E[T] (this work vs. paper-reported values)",
+        f"{'program':<10} {'measured':>10} {'paper':>10} {'time(s)':>9}  symbolic",
+    ]
+    for name in KURA_NAMES:
+        bench = registry.get(name)
+        result = run_registered(name, moment_degree=1)
+        upper = result.raw_interval(1, bench.valuation).hi
+        paper = bench.paper.get("E")
+        lines.append(
+            f"{name:<10} {fmt(upper):>10} {fmt(float(paper)):>10} "
+            f"{result.solve_seconds:>9.3f}  {result.upper_str(1)}"
+        )
+        assert upper < float("inf")
+    emit("table3_expected_runtime", lines)
+
+
+def test_table3_exact_rows(benchmark):
+    """(1-1) and (2-1) reproduce the published 13 / 20 exactly."""
+    r11 = benchmark.pedantic(
+        lambda: run_registered("kura-1-1", moment_degree=1), rounds=1, iterations=1
+    )
+    assert r11.raw_interval(1, {"c": 0.0}).hi == pytest.approx(13.0, rel=1e-6)
+    r21 = run_registered("kura-2-1", moment_degree=1)
+    assert r21.raw_interval(1, {"x": 1.0, "t": 0.0}).hi == pytest.approx(20.0, rel=1e-6)

@@ -1,0 +1,74 @@
+"""Table 5: expected-cost upper bounds vs. Absynth (Ngo et al. [31]).
+
+Symbolic polynomial upper bounds on monotone expected costs, fully
+automatically, across the Absynth suite subset.  Where the construction is
+pinned (ber, hyper, linear01, sprdwalk, geo, cowboy_duel, fcall, rdseql,
+c4b_t13, c4b_t30, condand, trapped_miner, rdbub, ...) the bound must match
+the published closed form on concrete instances.
+"""
+
+import pytest
+
+from _harness import emit, fmt, run_registered
+from repro.programs import registry
+from repro.programs.absynth import ABSYNTH_NAMES
+
+#: name -> (paper closed form as a python lambda over the valuation, rel tol)
+PINNED = {
+    "absynth-ber": (lambda v: 2 * (v["n"] - v["x"]), 1e-4),
+    "absynth-sprdwalk": (lambda v: 2 * (v["n"] - v["x"]), 1e-4),
+    "absynth-hyper": (lambda v: 5 * (v["n"] - v["x"]), 1e-4),
+    "absynth-linear01": (lambda v: 0.6 * v["x"], 1e-4),
+    "absynth-geo": (lambda v: 5.0, 1e-4),
+    "absynth-cowboy_duel": (lambda v: 1.2, 1e-4),
+    "absynth-fcall": (lambda v: 2 * (v["n"] - v["x"]), 1e-4),
+    "absynth-rdseql": (lambda v: 2.25 * v["x"] + v["y"], 1e-4),
+    "absynth-c4b_t13": (lambda v: 1.25 * v["x"] + v["y"], 1e-4),
+    "absynth-condand": (lambda v: 2 * v["m"], 1e-4),
+    "absynth-rfind_lv": (lambda v: 2.0, 1e-4),
+    "absynth-trapped_miner": (lambda v: 7.5 * v["n"], 1e-4),
+    "absynth-rdbub": (lambda v: 3 * v["n"] ** 2, 1e-3),
+}
+
+
+def test_table5_absynth_suite(benchmark):
+    benchmark.pedantic(
+        lambda: run_registered("absynth-ber"), rounds=3, iterations=1
+    )
+    lines = [
+        "Table 5: expected-cost upper bounds (monotone costs)",
+        f"{'program':<24} {'measured':>10} {'time(s)':>8}  symbolic (paper's formula)",
+    ]
+    failures = []
+    for name in ABSYNTH_NAMES:
+        bench = registry.get(name)
+        result = run_registered(name)
+        upper = result.raw_interval(1, bench.valuation).hi
+        lines.append(
+            f"{name:<24} {fmt(upper):>10} {result.solve_seconds:>8.3f}  "
+            f"{result.upper_str(1)}   ({bench.paper['bound']})"
+        )
+        if name in PINNED:
+            formula, tol = PINNED[name]
+            expected = formula(bench.valuation)
+            if abs(upper - expected) > tol * max(1.0, abs(expected)):
+                failures.append((name, upper, expected))
+    emit("table5_absynth", lines)
+    assert not failures, failures
+
+
+@pytest.mark.parametrize("name", ABSYNTH_NAMES)
+def test_table5_bounds_bracket_simulation(benchmark, name):
+    from repro.interp.mc import estimate_cost_statistics
+
+    bench = registry.get(name)
+    result = benchmark.pedantic(
+        lambda: run_registered(name), rounds=1, iterations=1
+    )
+    stats = estimate_cost_statistics(
+        registry.parsed(name), n=1200, seed=31, initial=bench.sim_init
+    )
+    interval = result.raw_interval(1, bench.valuation)
+    slack = 0.12 * abs(stats.mean) + 0.5
+    assert stats.mean <= interval.hi + slack, (name, stats.mean, interval)
+    assert stats.mean >= interval.lo - slack, (name, stats.mean, interval)

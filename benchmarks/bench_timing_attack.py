@@ -1,0 +1,87 @@
+"""Appendix I: the timing-attack case study, end to end.
+
+1. Analyze the two `compare` scenario models for E and V bounds.
+2. Plug the *derived* bounds (and, for reference, the paper's (13)/(14))
+   into the Cantelli-based attack success-rate computation.
+3. Reproduce the verdict: the checker is exploitable — success rate for all
+   but the low bits is high, with ~260k calls.
+"""
+
+import pytest
+
+from _harness import emit, fmt, run_registered
+from repro.tail.attack import analyze_attack, paper_t0_bounds, paper_t1_bounds
+
+
+@pytest.fixture(scope="module")
+def scenario_results():
+    t1 = run_registered("timing-t1")
+    t0 = run_registered("timing-t0")
+    return t1, t0
+
+
+def _derived_bounds(t1, t0):
+    def t1_bounds(n, i):
+        val = {"i": n, "j": 0.0}
+        e = t1.raw_interval(1, val)
+        v = t1.variance(val)
+        return (e.lo, e.hi, v.hi)
+
+    def t0_bounds(n, i):
+        val = {"i": n, "j": i}
+        e = t0.raw_interval(1, val)
+        v = t0.variance(val)
+        return (e.lo, e.hi, v.hi)
+
+    return t1_bounds, t0_bounds
+
+
+def test_scenario_moment_bounds(benchmark, scenario_results):
+    t1, t0 = scenario_results
+    benchmark.pedantic(
+        lambda: run_registered("timing-t1"), rounds=1, iterations=1
+    )
+    n32 = {"i": 32.0, "j": 0.0}
+    lines = [
+        "Appendix I: compare() timing models (N = 32)",
+        f"  E[T1] in {t1.raw_interval(1, {'i': 32.0})}   (paper: [13N, 15N] = [416, 480])",
+        f"  V[T1] <= {fmt(t1.variance({'i': 32.0}).hi)}   (paper: 26N^2+42N = 27968)",
+        f"  E[T0] in {t0.raw_interval(1, {'i': 32.0, 'j': 16.0})}  at j=16 "
+        "(paper: [13N-5j, 13N-3j] = [336, 368])",
+        f"  V[T0] <= {fmt(t0.variance({'i': 32.0, 'j': 16.0}).hi)}   "
+        "(paper: 8N-36j^2+52Nj+24j = 18368)",
+        f"  symbolic: E[T1] <= {t1.upper_str(1)},  E[T0] <= {t0.upper_str(1)}",
+    ]
+    emit("timing_scenarios", lines)
+    e1 = t1.raw_interval(1, {"i": 32.0})
+    assert e1.lo == pytest.approx(13 * 32, abs=0.5)
+    assert e1.hi <= 15 * 32
+    e0 = t0.raw_interval(1, {"i": 32.0, "j": 16.0})
+    assert 13 * 32 - 5 * 16 - 0.5 <= e0.lo and e0.hi <= 13 * 32 - 3 * 16
+
+
+def test_attack_success_rates(benchmark, scenario_results):
+    t1, t0 = scenario_results
+    derived_t1, derived_t0 = _derived_bounds(t1, t0)
+    ours = benchmark.pedantic(
+        lambda: analyze_attack(32, 10_000, derived_t1, derived_t0),
+        rounds=1,
+        iterations=1,
+    )
+    paper = analyze_attack(32, 10_000, paper_t1_bounds, paper_t0_bounds)
+    lines = [
+        "Appendix I: attack success-rate lower bounds (N = 32, K = 10^4)",
+        f"{'bounds':<16} {'all 32 bits':>12} {'skip low 6':>12} {'calls':>8}",
+        f"{'paper (13)/(14)':<16} {paper.success_rate(0):>12.6f} "
+        f"{paper.success_rate(6):>12.6f} {paper.brute_force_calls(6):>8}",
+        f"{'our derived':<16} {ours.success_rate(0):>12.6f} "
+        f"{ours.success_rate(6):>12.6f} {ours.brute_force_calls(6):>8}",
+        "paper reports: 0.219413 (all bits), 0.830561 (skip 6), 260064 calls",
+    ]
+    emit("timing_attack", lines)
+    # Paper-formula reproduction.
+    assert paper.success_rate(0) == pytest.approx(0.219413, abs=1e-4)
+    # Our tighter variance bounds give a *higher* certified success rate —
+    # the vulnerability verdict is the same but stronger.
+    assert ours.success_rate(0) >= paper.success_rate(0)
+    assert ours.success_rate(6) > 0.9

@@ -1,0 +1,52 @@
+"""Tail-bound analysis (section 5 / Fig. 1(c)).
+
+Compares three upper bounds on the tail probability P[tick >= 4d] of the
+running example: Markov from the first raw moment (expected-cost analyses,
+[31]/[43]), Markov from the second raw moment (Kura et al. [26]), and
+Cantelli from the variance — which needs the *interval* (upper and lower)
+moment bounds this analysis derives.
+
+Run:  python examples/tail_bounds.py
+"""
+
+from repro import AnalysisOptions, analyze, parse_program
+from repro.tail.bounds import cantelli_upper_tail, markov_tail
+
+from quickstart import RDWALK
+
+
+def main() -> None:
+    program = parse_program(RDWALK)
+    result = analyze(
+        program,
+        AnalysisOptions(
+            moment_degree=2,
+            objective_valuations=(
+                {"d": 10.0, "x": 0.0, "t": 0.0},
+                {"d": 500.0, "x": 0.0, "t": 0.0},
+            ),
+        ),
+    )
+
+    print("P[tick >= 4d] upper bounds (Fig. 1(c)):")
+    print(f"{'d':>6} {'Markov deg 1':>14} {'Markov deg 2':>14} {'Cantelli':>14}")
+    for d in (10, 20, 30, 40, 60, 80, 160):
+        val = {"d": float(d), "x": 0.0, "t": 0.0}
+        e1 = result.raw_interval(1, val)
+        e2 = result.raw_interval(2, val)
+        var = result.variance(val)
+        threshold = 4.0 * d
+        print(
+            f"{d:>6}"
+            f" {markov_tail(e1.hi, 1, threshold):>14.4f}"
+            f" {markov_tail(e2.hi, 2, threshold):>14.4f}"
+            f" {cantelli_upper_tail(var.hi, e1.hi, threshold):>14.4f}"
+        )
+    print(
+        "\nMarkov bounds converge to 1/2 and 1/4; the Cantelli bound from the"
+        "\ncentral moment tends to 0 — the paper's headline comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

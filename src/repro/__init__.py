@@ -1,0 +1,78 @@
+"""repro — Central moment analysis for cost accumulators in probabilistic programs.
+
+A from-scratch Python reproduction of Wang, Hoffmann, Reps (PLDI 2021):
+automatic derivation of symbolic interval bounds on raw and central moments
+of cost accumulators in probabilistic programs, with tail-bound analysis on
+top.
+
+Quickstart::
+
+    from repro import parse_program, analyze, AnalysisOptions
+
+    program = parse_program('''
+        func rdwalk() pre(x < d + 2) begin
+          if x < d then
+            t ~ uniform(-1, 2);
+            x := x + t;
+            call rdwalk;
+            tick(1)
+          fi
+        end
+
+        func main() pre(d > 0) begin
+          x := 0;
+          call rdwalk
+        end
+    ''')
+    result = analyze(program, AnalysisOptions(moment_degree=2))
+    print(result.upper_str(1))   # ~ 2*d + 4
+    print(result.variance({"d": 10, "x": 0, "t": 0}))
+"""
+
+from repro.analysis.engine import (
+    AnalysisError,
+    AnalysisOptions,
+    analyze,
+    analyze_upper_raw,
+)
+from repro.analysis.results import MomentBoundResult
+from repro.interp.mc import CostStatistics, estimate_cost_statistics, simulate_costs
+from repro.lang.parser import parse_program
+from repro.lp.problem import LPError, LPInfeasibleError
+from repro.rings.interval import Interval
+from repro.rings.moment import MomentVector, raw_to_central, variance_interval
+from repro.soundness.checker import SoundnessReport, check_soundness
+from repro.tail.bounds import (
+    best_upper_tail,
+    cantelli_upper_tail,
+    chebyshev_tail,
+    markov_tail,
+    tail_curve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisOptions",
+    "CostStatistics",
+    "Interval",
+    "LPError",
+    "LPInfeasibleError",
+    "MomentBoundResult",
+    "MomentVector",
+    "SoundnessReport",
+    "analyze",
+    "analyze_upper_raw",
+    "best_upper_tail",
+    "cantelli_upper_tail",
+    "chebyshev_tail",
+    "check_soundness",
+    "estimate_cost_statistics",
+    "markov_tail",
+    "parse_program",
+    "raw_to_central",
+    "simulate_costs",
+    "tail_curve",
+    "variance_interval",
+]

@@ -1,0 +1,240 @@
+"""Backward derivation: the inference rules of Fig. 6 as constraint emission.
+
+Walks a statement backwards from a post-annotation, producing the
+pre-annotation and emitting linear constraints into the LP:
+
+* (Q-Tick)    — binomial composition with the constant cost vector
+* (Q-Assign)  — substitution
+* (Q-Sample)  — expectation w.r.t. the distribution's raw moments
+* (Q-Seq)     — right-to-left fold
+* (Q-Prob)    — probability-weighted ⊕ of the branch pre-annotations
+* (Q-Cond)    — fresh template + two (Q-Weaken) containments under Γ∧L, Γ∧¬L
+* nondet      — fresh template + containments under Γ (demonic choice:
+                the interval must cover both branches)
+* (Q-Loop)    — fresh invariant template, containments at the back edge and
+                the exit edge
+* (Q-Call-*)  — the level summary of the callee's specs plus a (Q-Weaken)
+                containment between the summary post and the call-site post
+* (Q-Weaken)  — Handelman certificates (:mod:`repro.logic.handelman`)
+
+In *unit-cost mode* (Appendix G, termination-moment analysis) every atomic
+statement, branch point, and loop-guard evaluation is additionally composed
+with the unit cost vector ``<1,...,1>``; tick costs are ignored (the measured
+quantity is the number of evaluation steps, not the programmed cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.annotations import (
+    MomentAnnotation,
+    component_degree,
+    fresh_annotation,
+)
+from repro.analysis.specs import SpecTable
+from repro.lang.ast import (
+    Assign,
+    Call,
+    IfBranch,
+    NondetBranch,
+    ProbBranch,
+    Sample,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    While,
+)
+from repro.logic.absint import ContextMap
+from repro.logic.context import Context
+from repro.logic.handelman import emit_nonneg_certificate
+from repro.lp.problem import LPProblem
+
+
+class AnalysisError(Exception):
+    pass
+
+
+@dataclass
+class Deriver:
+    lp: LPProblem
+    cmap: ContextMap
+    specs: SpecTable
+    m: int
+    template_degree: int
+    variables: tuple[str, ...]
+    unit_cost: bool = False
+    upper_only: bool = False
+    degree_cap: int | None = None
+    _counter: int = field(default=0, init=False)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _label(self, kind: str) -> str:
+        self._counter += 1
+        return f"{kind}{self._counter}"
+
+    def _charge_step(self, ann: MomentAnnotation) -> MomentAnnotation:
+        """Unit-cost composition for the termination-moment analysis."""
+        if self.unit_cost:
+            return ann.prefix_cost(1.0)
+        return ann
+
+    def _fresh(
+        self, label: str, level: int, ctx: Context | None = None
+    ) -> MomentAnnotation:
+        ann = fresh_annotation(
+            self.lp,
+            self.m,
+            self.template_degree,
+            self.variables,
+            label=label,
+            restrict=level,
+            upper_only=self.upper_only,
+            degree_cap=self.degree_cap,
+        )
+        if ctx is not None:
+            self.require_nonneg(ctx, ann, label)
+        return ann
+
+    def require_nonneg(
+        self, ctx: Context, ann: MomentAnnotation, label: str
+    ) -> None:
+        """In upper-only mode potentials live in the semiring over [0, inf]
+        (Theorem G.2 / the nonnegative-cost setting), so every template's
+        upper ends must be certified nonnegative on its reachable states."""
+        if not self.upper_only:
+            return
+        for k in range(1, self.m + 1):
+            degree = component_degree(k, self.template_degree, self.degree_cap)
+            hi = ann.intervals[k].hi
+            if not hi.is_zero():
+                emit_nonneg_certificate(
+                    self.lp, ctx, hi, degree, label=f"{label}.nn{k}"
+                )
+
+    def contain(
+        self,
+        ctx: Context,
+        big: MomentAnnotation,
+        small: MomentAnnotation,
+        label: str,
+    ) -> None:
+        """Emit ``Γ |= big ⊒ small``: interval containment per component.
+
+        ``big.hi_k - small.hi_k >= 0`` and ``small.lo_k - big.lo_k >= 0``
+        under ``ctx``, via Handelman certificates with products up to the
+        component's template degree.
+        """
+        for k in range(self.m + 1):
+            degree = component_degree(k, self.template_degree, self.degree_cap)
+            hi_diff = big.intervals[k].hi - small.intervals[k].hi
+            if not hi_diff.is_zero():
+                emit_nonneg_certificate(
+                    self.lp, ctx, hi_diff, degree, label=f"{label}.hi{k}"
+                )
+            if self.upper_only:
+                continue
+            lo_diff = small.intervals[k].lo - big.intervals[k].lo
+            if not lo_diff.is_zero():
+                emit_nonneg_certificate(
+                    self.lp, ctx, lo_diff, degree, label=f"{label}.lo{k}"
+                )
+
+    # -- the backward transformer ----------------------------------------------------
+
+    def derive(self, stmt: Stmt, post: MomentAnnotation, level: int) -> MomentAnnotation:
+        if isinstance(stmt, Skip):
+            return self._charge_step(post)
+
+        if isinstance(stmt, Tick):
+            if self.unit_cost:
+                return self._charge_step(post)
+            return post.prefix_cost(stmt.cost)
+
+        if isinstance(stmt, Assign):
+            poly = stmt.expr.to_polynomial()
+            return self._charge_step(post.substitute(stmt.var, poly))
+
+        if isinstance(stmt, Sample):
+            return self._charge_step(post.expect(stmt.var, stmt.dist))
+
+        if isinstance(stmt, Seq):
+            ann = post
+            for s in reversed(stmt.stmts):
+                ann = self.derive(s, ann, level)
+            return ann
+
+        if isinstance(stmt, ProbBranch):
+            pre_then = self.derive(stmt.then_branch, post, level)
+            pre_else = self.derive(stmt.else_branch, post, level)
+            mixed = pre_then.scale(stmt.prob).oplus(pre_else.scale(1.0 - stmt.prob))
+            return self._charge_step(mixed)
+
+        if isinstance(stmt, IfBranch):
+            pre_then = self.derive(stmt.then_branch, post, level)
+            pre_else = self.derive(stmt.else_branch, post, level)
+            ctx = self.cmap.pre_of(stmt)
+            label = self._label("if")
+            joined = self._fresh(label, level, ctx)
+            self.contain(ctx.assume(stmt.cond), joined, pre_then, f"{label}.t")
+            self.contain(ctx.assume(stmt.cond.negate()), joined, pre_else, f"{label}.e")
+            return self._charge_step(joined)
+
+        if isinstance(stmt, NondetBranch):
+            pre_left = self.derive(stmt.left, post, level)
+            pre_right = self.derive(stmt.right, post, level)
+            ctx = self.cmap.pre_of(stmt)
+            label = self._label("nd")
+            joined = self._fresh(label, level, ctx)
+            self.contain(ctx, joined, pre_left, f"{label}.l")
+            self.contain(ctx, joined, pre_right, f"{label}.r")
+            return self._charge_step(joined)
+
+        if isinstance(stmt, While):
+            head_ctx = self.cmap.head_of(stmt)
+            label = self._label("loop")
+            invariant = self._fresh(label, level, head_ctx)
+            pre_body = self.derive(stmt.body, invariant, level)
+            self.contain(
+                head_ctx.assume(stmt.cond),
+                invariant,
+                self._charge_step(pre_body),
+                f"{label}.back",
+            )
+            self.contain(
+                head_ctx.assume(stmt.cond.negate()),
+                invariant,
+                self._charge_step(post),
+                f"{label}.exit",
+            )
+            return invariant
+
+        if isinstance(stmt, Call):
+            sum_pre, sum_post = self.specs.summary(stmt.func, level)
+            ctx_after = self.cmap.post_of(stmt)
+            label = self._label(f"call_{stmt.func}")
+            self.contain(ctx_after, sum_post, post, label)
+            return self._charge_step(sum_pre)
+
+        raise AnalysisError(f"unknown statement {stmt!r}")
+
+    # -- function-level driver ----------------------------------------------------------
+
+    def derive_function_specs(self, program, name: str) -> None:
+        """Emit the constraints justifying every spec level of ``name``.
+
+        For each level ``h``: derive the body backwards from the level-``h``
+        post template and require the level-``h`` pre template to contain the
+        derived pre-annotation under the function's pre-condition context.
+        """
+        fun = program.fun(name)
+        spec = self.specs.spec(name)
+        pre_ctx = self.cmap.fun_pre[name]
+        exit_ctx = self.cmap.fun_exit[name]
+        for h in range(self.m + 1):
+            self.require_nonneg(pre_ctx, spec.pres[h], f"{name}.pre{h}")
+            self.require_nonneg(exit_ctx, spec.posts[h], f"{name}.post{h}")
+            derived = self.derive(fun.body, spec.posts[h], level=h)
+            self.contain(pre_ctx, spec.pres[h], derived, f"{name}.spec{h}")

@@ -1,0 +1,191 @@
+"""Small-step operational semantics of Appl (Appendix B of the paper).
+
+Configurations are quadruples ``<γ, S, K, α>`` — valuation, statement,
+continuation, cost accumulator.  Continuations are explicit (``Kstop``,
+``Kloop``, ``Kseq``), exactly as in the paper's Markov-chain semantics, which
+also keeps the interpreter iterative: deep recursion chains (the Fig. 10
+synthetic benchmarks stack hundreds of calls) do not touch the Python stack.
+
+Nondeterministic branches are resolved by a pluggable policy (the semantics
+in the paper is demonic; simulation needs *some* resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Cmp,
+    Cond,
+    Const,
+    Expr,
+    IfBranch,
+    And,
+    Not,
+    Or,
+    NondetBranch,
+    ProbBranch,
+    Program,
+    Sample,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    Var,
+    While,
+)
+
+NondetPolicy = Callable[[NondetBranch, dict[str, float], np.random.Generator], bool]
+
+
+def random_policy(
+    stmt: NondetBranch, valuation: dict[str, float], rng: np.random.Generator
+) -> bool:
+    return bool(rng.random() < 0.5)
+
+
+def left_policy(
+    stmt: NondetBranch, valuation: dict[str, float], rng: np.random.Generator
+) -> bool:
+    return True
+
+
+def eval_expr(expr: Expr, valuation: dict[str, float]) -> float:
+    if isinstance(expr, Var):
+        return valuation.get(expr.name, 0.0)
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, valuation)
+        right = eval_expr(expr.right, valuation)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        raise ValueError(f"unknown operator {expr.op!r}")
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def eval_cond(cond: Cond, valuation: dict[str, float]) -> bool:
+    if isinstance(cond, BoolLit):
+        return cond.value
+    if isinstance(cond, Cmp):
+        left = eval_expr(cond.left, valuation)
+        right = eval_expr(cond.right, valuation)
+        return {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+            "==": left == right,
+            "!=": left != right,
+        }[cond.op]
+    if isinstance(cond, Not):
+        return not eval_cond(cond.arg, valuation)
+    if isinstance(cond, And):
+        return eval_cond(cond.left, valuation) and eval_cond(cond.right, valuation)
+    if isinstance(cond, Or):
+        return eval_cond(cond.left, valuation) or eval_cond(cond.right, valuation)
+    raise TypeError(f"unknown condition {cond!r}")
+
+
+# Continuation frames: ("loop", cond, body) | ("seq", stmt)
+_Frame = tuple
+
+
+@dataclass
+class RunResult:
+    """Outcome of one execution."""
+
+    cost: float
+    steps: int
+    terminated: bool
+    valuation: dict[str, float]
+
+
+class Machine:
+    """Iterative evaluator for a single program."""
+
+    def __init__(
+        self,
+        program: Program,
+        nondet_policy: NondetPolicy = random_policy,
+    ) -> None:
+        self.program = program
+        self.nondet_policy = nondet_policy
+
+    def run(
+        self,
+        rng: np.random.Generator,
+        initial: dict[str, float] | None = None,
+        max_steps: int = 1_000_000,
+    ) -> RunResult:
+        valuation: dict[str, float] = dict(initial or {})
+        cost = 0.0
+        steps = 0
+        stack: list[_Frame] = []
+        current: Stmt | None = self.program.main_fun.body
+
+        while steps < max_steps:
+            steps += 1
+            if current is None:
+                if not stack:
+                    return RunResult(cost, steps, True, valuation)
+                frame = stack.pop()
+                if frame[0] == "seq":
+                    current = frame[1]
+                else:  # loop frame: re-test the guard
+                    _, cond, body = frame
+                    if eval_cond(cond, valuation):
+                        stack.append(frame)
+                        current = body
+                    else:
+                        current = None
+                continue
+
+            stmt = current
+            if isinstance(stmt, Skip):
+                current = None
+            elif isinstance(stmt, Tick):
+                cost += stmt.cost
+                current = None
+            elif isinstance(stmt, Assign):
+                valuation[stmt.var] = eval_expr(stmt.expr, valuation)
+                current = None
+            elif isinstance(stmt, Sample):
+                valuation[stmt.var] = stmt.dist.sample(rng)
+                current = None
+            elif isinstance(stmt, Call):
+                current = self.program.fun(stmt.func).body
+            elif isinstance(stmt, Seq):
+                for s in reversed(stmt.stmts[1:]):
+                    stack.append(("seq", s))
+                current = stmt.stmts[0]
+            elif isinstance(stmt, ProbBranch):
+                take_then = rng.random() < stmt.prob
+                current = stmt.then_branch if take_then else stmt.else_branch
+            elif isinstance(stmt, NondetBranch):
+                take_left = self.nondet_policy(stmt, valuation, rng)
+                current = stmt.left if take_left else stmt.right
+            elif isinstance(stmt, IfBranch):
+                taken = eval_cond(stmt.cond, valuation)
+                current = stmt.then_branch if taken else stmt.else_branch
+            elif isinstance(stmt, While):
+                if eval_cond(stmt.cond, valuation):
+                    stack.append(("loop", stmt.cond, stmt.body))
+                    current = stmt.body
+                else:
+                    current = None
+            else:
+                raise TypeError(f"unknown statement {stmt!r}")
+
+        return RunResult(cost, steps, False, valuation)

@@ -1,0 +1,400 @@
+"""Abstract syntax of Appl (Fig. 5 of the paper).
+
+Appl is an imperative arithmetic probabilistic language with real-valued
+global variables, general recursion, probabilistic branching, sampling from
+continuous and discrete distributions, and a ``tick`` statement that updates
+the anonymous global cost accumulator (costs may be negative — non-monotone
+cost models are a headline feature of the analysis).
+
+Extensions over the paper's minimal grammar, both present in the authors'
+implementation and needed for the benchmark suite:
+
+* ``NondetBranch`` — demonic nondeterministic choice (Kura et al. benchmark
+  (2-3) "adversarial nondeterminism").
+* loop invariant / function pre-condition annotations, playing the role of
+  the interprocedural numeric analysis' fixpoint hints (APRON in the paper,
+  our polyhedra-lite domain here).
+
+All node classes use ``eq=False`` so nodes hash by identity; the analyses
+attach per-node information (logical contexts) keyed by the node object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.poly.polynomial import Polynomial
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Arithmetic expression over program variables."""
+
+    def __add__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("+", self, _coerce_expr(other))
+
+    def __radd__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("+", _coerce_expr(other), self)
+
+    def __sub__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("-", self, _coerce_expr(other))
+
+    def __rsub__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("-", _coerce_expr(other), self)
+
+    def __mul__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("*", self, _coerce_expr(other))
+
+    def __rmul__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("*", _coerce_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return BinOp("-", Const(0.0), self)
+
+    # Comparisons build conditions (convenient for the embedded-DSL frontend).
+    def __lt__(self, other: "Expr | float | int") -> "Cmp":
+        return Cmp("<", self, _coerce_expr(other))
+
+    def __le__(self, other: "Expr | float | int") -> "Cmp":
+        return Cmp("<=", self, _coerce_expr(other))
+
+    def __gt__(self, other: "Expr | float | int") -> "Cmp":
+        return Cmp(">", self, _coerce_expr(other))
+
+    def __ge__(self, other: "Expr | float | int") -> "Cmp":
+        return Cmp(">=", self, _coerce_expr(other))
+
+    def eq(self, other: "Expr | float | int") -> "Cmp":
+        return Cmp("==", self, _coerce_expr(other))
+
+    def to_polynomial(self) -> Polynomial:
+        raise NotImplementedError
+
+
+@dataclass(eq=False)
+class Var(Expr):
+    name: str
+
+    def to_polynomial(self) -> Polynomial:
+        return Polynomial.var(self.name)
+
+
+@dataclass(eq=False)
+class Const(Expr):
+    value: float
+
+    def to_polynomial(self) -> Polynomial:
+        return Polynomial.constant(float(self.value))
+
+
+@dataclass(eq=False)
+class BinOp(Expr):
+    op: str  # one of "+", "-", "*"
+    left: Expr
+    right: Expr
+
+    def to_polynomial(self) -> Polynomial:
+        lhs = self.left.to_polynomial()
+        rhs = self.right.to_polynomial()
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        raise ValueError(f"unknown operator {self.op!r}")
+
+
+def _coerce_expr(value: "Expr | float | int") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot coerce {value!r} to Expr")
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+class Cond:
+    def negate(self) -> "Cond":
+        return Not(self)
+
+    def __and__(self, other: "Cond") -> "Cond":
+        return And(self, other)
+
+    def __or__(self, other: "Cond") -> "Cond":
+        return Or(self, other)
+
+
+@dataclass(eq=False)
+class BoolLit(Cond):
+    value: bool
+
+    def negate(self) -> "Cond":
+        return BoolLit(not self.value)
+
+
+@dataclass(eq=False)
+class Cmp(Cond):
+    op: str  # "<", "<=", ">", ">=", "==", "!="
+    left: Expr
+    right: Expr
+
+    _NEGATION = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+
+    def negate(self) -> "Cond":
+        return Cmp(self._NEGATION[self.op], self.left, self.right)
+
+
+@dataclass(eq=False)
+class Not(Cond):
+    arg: Cond
+
+    def negate(self) -> "Cond":
+        return self.arg
+
+
+@dataclass(eq=False)
+class And(Cond):
+    left: Cond
+    right: Cond
+
+    def negate(self) -> "Cond":
+        return Or(self.left.negate(), self.right.negate())
+
+
+@dataclass(eq=False)
+class Or(Cond):
+    left: Cond
+    right: Cond
+
+    def negate(self) -> "Cond":
+        return And(self.left.negate(), self.right.negate())
+
+
+# ---------------------------------------------------------------------------
+# Distributions
+# ---------------------------------------------------------------------------
+
+
+class Distribution:
+    """A probability measure on the reals with computable raw moments."""
+
+    def moment(self, k: int) -> float:
+        raise NotImplementedError
+
+    def support(self) -> tuple[float, float]:
+        """A (closed) interval containing the support."""
+        raise NotImplementedError
+
+    def sample(self, rng) -> float:
+        raise NotImplementedError
+
+
+@dataclass(eq=False)
+class Uniform(Distribution):
+    """Continuous uniform distribution on ``[a, b]``."""
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if not self.a < self.b:
+            raise ValueError("uniform(a, b) requires a < b")
+
+    def moment(self, k: int) -> float:
+        # E[X^k] = (b^{k+1} - a^{k+1}) / ((k+1) (b - a))
+        return (self.b ** (k + 1) - self.a ** (k + 1)) / ((k + 1) * (self.b - self.a))
+
+    def support(self) -> tuple[float, float]:
+        return (self.a, self.b)
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"uniform({self.a:g}, {self.b:g})"
+
+
+@dataclass(eq=False)
+class Discrete(Distribution):
+    """Finite discrete distribution given as (value, probability) pairs."""
+
+    outcomes: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        total = sum(p for _, p in self.outcomes)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities sum to {total}, not 1")
+        if any(p < 0 for _, p in self.outcomes):
+            raise ValueError("negative probability")
+
+    @staticmethod
+    def of(*pairs: tuple[float, float]) -> "Discrete":
+        return Discrete(tuple((float(v), float(p)) for v, p in pairs))
+
+    def moment(self, k: int) -> float:
+        return sum(p * v**k for v, p in self.outcomes)
+
+    def support(self) -> tuple[float, float]:
+        values = [v for v, p in self.outcomes if p > 0]
+        return (min(values), max(values))
+
+    def sample(self, rng) -> float:
+        u = rng.random()
+        acc = 0.0
+        for v, p in self.outcomes:
+            acc += p
+            if u <= acc:
+                return v
+        return self.outcomes[-1][0]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v:g}: {p:g}" for v, p in self.outcomes)
+        return f"discrete({inner})"
+
+
+def uniform_int(a: int, b: int) -> Discrete:
+    """Uniform distribution on the integers ``a..b`` inclusive."""
+    if a > b:
+        raise ValueError("unifint(a, b) requires a <= b")
+    n = b - a + 1
+    return Discrete(tuple((float(v), 1.0 / n) for v in range(a, b + 1)))
+
+
+def bernoulli_values(p: float, hi: float = 1.0, lo: float = 0.0) -> Discrete:
+    """Value ``hi`` with probability ``p``, else ``lo``."""
+    return Discrete(((float(hi), float(p)), (float(lo), 1.0 - float(p))))
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    pass
+
+
+@dataclass(eq=False)
+class Skip(Stmt):
+    pass
+
+
+@dataclass(eq=False)
+class Tick(Stmt):
+    """Add the constant ``cost`` to the global cost accumulator."""
+
+    cost: float
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    var: str
+    expr: Expr
+
+
+@dataclass(eq=False)
+class Sample(Stmt):
+    var: str
+    dist: Distribution
+
+
+@dataclass(eq=False)
+class Call(Stmt):
+    func: str
+
+
+@dataclass(eq=False)
+class ProbBranch(Stmt):
+    """``if prob(p) then s1 else s2 fi``."""
+
+    prob: float
+    then_branch: Stmt
+    else_branch: Stmt
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"branch probability {self.prob} not in [0, 1]")
+
+
+@dataclass(eq=False)
+class IfBranch(Stmt):
+    cond: Cond
+    then_branch: Stmt
+    else_branch: Stmt
+
+
+@dataclass(eq=False)
+class NondetBranch(Stmt):
+    """Demonic nondeterministic choice between two branches."""
+
+    left: Stmt
+    right: Stmt
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    cond: Cond
+    body: Stmt
+    invariant: "tuple[Cond, ...]" = ()
+
+
+@dataclass(eq=False)
+class Seq(Stmt):
+    stmts: tuple[Stmt, ...]
+
+    @staticmethod
+    def of(*stmts: Stmt) -> "Stmt":
+        flat: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Seq):
+                flat.extend(s.stmts)
+            elif not isinstance(s, Skip):
+                flat.append(s)
+        if not flat:
+            return Skip()
+        if len(flat) == 1:
+            return flat[0]
+        return Seq(tuple(flat))
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class FunDef:
+    name: str
+    body: Stmt
+    pre: tuple[Cond, ...] = ()
+    #: Variables declared integer-valued (type annotations for parameters
+    #: that are never written; written variables are classified by the
+    #: fixpoint in repro.lang.varinfo regardless).
+    integers: tuple[str, ...] = ()
+
+
+@dataclass(eq=False)
+class Program:
+    """An Appl program: function declarations plus a distinguished main."""
+
+    functions: dict[str, FunDef] = field(default_factory=dict)
+    main: str = "main"
+
+    def __post_init__(self) -> None:
+        if self.main not in self.functions:
+            raise ValueError(f"program has no {self.main!r} function")
+
+    @property
+    def main_fun(self) -> FunDef:
+        return self.functions[self.main]
+
+    def fun(self, name: str) -> FunDef:
+        return self.functions[name]

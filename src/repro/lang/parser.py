@@ -1,0 +1,408 @@
+"""Recursive-descent parser for the Appl surface syntax.
+
+Grammar (statement separators are semicolons; trailing semicolons allowed):
+
+    program   ::= func+
+    func      ::= "func" ID "(" ")" ["pre" "(" cond {"," cond} ")"]
+                  "begin" stmts "end"
+    stmts     ::= stmt {";" stmt} [";"]
+    stmt      ::= "skip" | "tick" "(" number ")"
+                | ID ":=" expr
+                | ID "~" dist
+                | "call" ID
+                | "if" "prob" "(" number ")" "then" stmts ["else" stmts] "fi"
+                | "if" "ndet" "then" stmts ["else" stmts] "fi"
+                | "if" cond "then" stmts ["else" stmts] "fi"
+                | "while" cond ["inv" "(" cond {"," cond} ")"] "do" stmts "od"
+    dist      ::= "uniform" "(" number "," number ")"
+                | "unifint" "(" number "," number ")"
+                | "discrete" "(" number ":" number {"," number ":" number} ")"
+                | "ber" "(" number ["," number ["," number]] ")"
+    cond      ::= disjunction of conjunctions of comparisons, "true", "false",
+                  "not" cond, parentheses
+    expr      ::= polynomial arithmetic with + - * and numeric literals;
+                  division by a numeric literal is folded into coefficients
+
+Line comments start with ``#``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Cmp,
+    Cond,
+    Const,
+    Discrete,
+    Distribution,
+    Expr,
+    FunDef,
+    IfBranch,
+    NondetBranch,
+    ProbBranch,
+    Program,
+    Sample,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    Uniform,
+    Var,
+    While,
+)
+
+KEYWORDS = {
+    "func", "begin", "end", "pre", "int", "if", "then", "else", "fi", "while", "do",
+    "od", "inv", "call", "tick", "skip", "prob", "ndet", "true", "false",
+    "not", "and", "or", "uniform", "unifint", "discrete", "ber",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>\d+\.\d*|\.\d+|\d+)
+  | (?P<id>[A-Za-z_][A-Za-z_0-9']*)
+  | (?P<op>:=|<=|>=|==|!=|~|[-+*/();,:<>])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "num" | "id" | "kw" | "op" | "eof"
+    text: str
+    pos: int
+
+
+class ParseError(Exception):
+    pass
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "id" and text in KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, match.start()))
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            got = self.peek()
+            want = text or kind
+            raise ParseError(f"expected {want!r}, got {got.text!r} at offset {got.pos}")
+        return tok
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        functions: dict[str, FunDef] = {}
+        while not self.check("eof"):
+            fun = self.parse_func()
+            if fun.name in functions:
+                raise ParseError(f"duplicate function {fun.name!r}")
+            functions[fun.name] = fun
+        if not functions:
+            raise ParseError("empty program")
+        return Program(functions=functions)
+
+    def parse_func(self) -> FunDef:
+        self.expect("kw", "func")
+        name = self.expect("id").text
+        self.expect("op", "(")
+        self.expect("op", ")")
+        integers: tuple[str, ...] = ()
+        if self.accept("kw", "int"):
+            self.expect("op", "(")
+            names = [self.expect("id").text]
+            while self.accept("op", ","):
+                names.append(self.expect("id").text)
+            self.expect("op", ")")
+            integers = tuple(names)
+        pre: tuple[Cond, ...] = ()
+        if self.accept("kw", "pre"):
+            self.expect("op", "(")
+            conds = [self.parse_cond()]
+            while self.accept("op", ","):
+                conds.append(self.parse_cond())
+            self.expect("op", ")")
+            pre = tuple(conds)
+        self.expect("kw", "begin")
+        body = self.parse_stmts()
+        self.expect("kw", "end")
+        return FunDef(name=name, body=body, pre=pre, integers=integers)
+
+    def parse_stmts(self) -> Stmt:
+        stmts = [self.parse_stmt()]
+        while self.accept("op", ";"):
+            if self.check("kw", "end") or self.check("kw", "fi") or self.check(
+                "kw", "od"
+            ) or self.check("kw", "else"):
+                break
+            stmts.append(self.parse_stmt())
+        return Seq.of(*stmts)
+
+    def parse_stmt(self) -> Stmt:
+        if self.accept("kw", "skip"):
+            return Skip()
+        if self.accept("kw", "tick"):
+            self.expect("op", "(")
+            cost = self.parse_number()
+            self.expect("op", ")")
+            return Tick(cost)
+        if self.accept("kw", "call"):
+            name = self.expect("id").text
+            return Call(name)
+        if self.accept("kw", "while"):
+            cond = self.parse_cond()
+            invariant: tuple[Cond, ...] = ()
+            if self.accept("kw", "inv"):
+                self.expect("op", "(")
+                conds = [self.parse_cond()]
+                while self.accept("op", ","):
+                    conds.append(self.parse_cond())
+                self.expect("op", ")")
+                invariant = tuple(conds)
+            self.expect("kw", "do")
+            body = self.parse_stmts()
+            self.expect("kw", "od")
+            return While(cond, body, invariant)
+        if self.accept("kw", "if"):
+            return self.parse_if_tail()
+        tok = self.expect("id")
+        if self.accept("op", ":="):
+            return Assign(tok.text, self.parse_expr())
+        if self.accept("op", "~"):
+            return Sample(tok.text, self.parse_dist())
+        raise ParseError(f"expected ':=' or '~' after {tok.text!r} at {tok.pos}")
+
+    def parse_if_tail(self) -> Stmt:
+        if self.accept("kw", "prob"):
+            self.expect("op", "(")
+            p = self.parse_number()
+            self.expect("op", ")")
+            self.expect("kw", "then")
+            then_branch = self.parse_stmts()
+            else_branch: Stmt = Skip()
+            if self.accept("kw", "else"):
+                else_branch = self.parse_stmts()
+            self.expect("kw", "fi")
+            return ProbBranch(p, then_branch, else_branch)
+        if self.accept("kw", "ndet"):
+            self.expect("kw", "then")
+            then_branch = self.parse_stmts()
+            else_branch = Skip()
+            if self.accept("kw", "else"):
+                else_branch = self.parse_stmts()
+            self.expect("kw", "fi")
+            return NondetBranch(then_branch, else_branch)
+        cond = self.parse_cond()
+        self.expect("kw", "then")
+        then_branch = self.parse_stmts()
+        else_branch = Skip()
+        if self.accept("kw", "else"):
+            else_branch = self.parse_stmts()
+        self.expect("kw", "fi")
+        return IfBranch(cond, then_branch, else_branch)
+
+    # -- distributions --------------------------------------------------------
+
+    def parse_dist(self) -> Distribution:
+        if self.accept("kw", "uniform"):
+            self.expect("op", "(")
+            a = self.parse_number()
+            self.expect("op", ",")
+            b = self.parse_number()
+            self.expect("op", ")")
+            return Uniform(a, b)
+        if self.accept("kw", "unifint"):
+            self.expect("op", "(")
+            a = self.parse_number()
+            self.expect("op", ",")
+            b = self.parse_number()
+            self.expect("op", ")")
+            return ast.uniform_int(int(a), int(b))
+        if self.accept("kw", "ber"):
+            self.expect("op", "(")
+            p = self.parse_number()
+            hi, lo = 1.0, 0.0
+            if self.accept("op", ","):
+                hi = self.parse_number()
+                if self.accept("op", ","):
+                    lo = self.parse_number()
+            self.expect("op", ")")
+            return ast.bernoulli_values(p, hi, lo)
+        if self.accept("kw", "discrete"):
+            self.expect("op", "(")
+            pairs = [self.parse_outcome()]
+            while self.accept("op", ","):
+                pairs.append(self.parse_outcome())
+            self.expect("op", ")")
+            return Discrete.of(*pairs)
+        got = self.peek()
+        raise ParseError(f"expected a distribution at offset {got.pos}")
+
+    def parse_outcome(self) -> tuple[float, float]:
+        value = self.parse_number()
+        self.expect("op", ":")
+        prob = self.parse_number()
+        return (value, prob)
+
+    # -- conditions --------------------------------------------------------------
+
+    def parse_cond(self) -> Cond:
+        left = self.parse_cond_conj()
+        while self.accept("kw", "or"):
+            left = ast.Or(left, self.parse_cond_conj())
+        return left
+
+    def parse_cond_conj(self) -> Cond:
+        left = self.parse_cond_atom()
+        while self.accept("kw", "and"):
+            left = ast.And(left, self.parse_cond_atom())
+        return left
+
+    def parse_cond_atom(self) -> Cond:
+        if self.accept("kw", "true"):
+            return BoolLit(True)
+        if self.accept("kw", "false"):
+            return BoolLit(False)
+        if self.accept("kw", "not"):
+            return ast.Not(self.parse_cond_atom())
+        # Parenthesized condition vs parenthesized arithmetic: backtrack.
+        if self.check("op", "("):
+            saved = self.index
+            self.advance()
+            try:
+                inner = self.parse_cond()
+                self.expect("op", ")")
+                return inner
+            except ParseError:
+                self.index = saved
+        left = self.parse_expr()
+        op_tok = self.peek()
+        if op_tok.kind == "op" and op_tok.text in ("<", "<=", ">", ">=", "==", "!="):
+            self.advance()
+            right = self.parse_expr()
+            return Cmp(op_tok.text, left, right)
+        raise ParseError(f"expected a comparison at offset {op_tok.pos}")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while True:
+            if self.accept("op", "+"):
+                left = BinOp("+", left, self.parse_term())
+            elif self.accept("op", "-"):
+                left = BinOp("-", left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while True:
+            if self.accept("op", "*"):
+                left = BinOp("*", left, self.parse_factor())
+            elif self.accept("op", "/"):
+                divisor = self.parse_factor()
+                if not isinstance(divisor, Const) or divisor.value == 0:
+                    raise ParseError("division only by nonzero numeric literals")
+                left = BinOp("*", left, Const(1.0 / divisor.value))
+            else:
+                return left
+
+    def parse_factor(self) -> Expr:
+        if self.accept("op", "-"):
+            return BinOp("-", Const(0.0), self.parse_factor())
+        if self.accept("op", "("):
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        tok = self.peek()
+        if tok.kind == "num":
+            self.advance()
+            return Const(float(tok.text))
+        if tok.kind == "id":
+            self.advance()
+            return Var(tok.text)
+        raise ParseError(f"expected an expression at offset {tok.pos}")
+
+    def parse_number(self) -> float:
+        sign = 1.0
+        if self.accept("op", "-"):
+            sign = -1.0
+        tok = self.expect("num")
+        return sign * float(tok.text)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a complete Appl program from surface syntax."""
+    parser = _Parser(source)
+    return parser.parse_program()
+
+
+def parse_statement(source: str) -> Stmt:
+    """Parse a statement sequence (useful in tests)."""
+    parser = _Parser(source)
+    stmt = parser.parse_stmts()
+    parser.expect("eof")
+    return stmt
+
+
+def parse_condition(source: str) -> Cond:
+    parser = _Parser(source)
+    cond = parser.parse_cond()
+    parser.expect("eof")
+    return cond
+
+
+def parse_expression(source: str) -> Expr:
+    parser = _Parser(source)
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr

@@ -1,0 +1,134 @@
+"""Pretty-printer for Appl programs (inverse of :mod:`repro.lang.parser`)."""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Cmp,
+    Cond,
+    Const,
+    Discrete,
+    Distribution,
+    Expr,
+    FunDef,
+    IfBranch,
+    NondetBranch,
+    Not,
+    And,
+    Or,
+    ProbBranch,
+    Program,
+    Sample,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    Uniform,
+    Var,
+    While,
+)
+
+
+def format_expr(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return f"{expr.value:g}"
+    if isinstance(expr, BinOp):
+        left = format_expr(expr.left)
+        right = format_expr(expr.right)
+        if expr.op == "*":
+            if isinstance(expr.left, BinOp) and expr.left.op in "+-":
+                left = f"({left})"
+            if isinstance(expr.right, BinOp) and expr.right.op in "+-":
+                right = f"({right})"
+        elif expr.op == "-" and isinstance(expr.right, BinOp) and expr.right.op in "+-":
+            right = f"({right})"
+        return f"{left} {expr.op} {right}"
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def format_cond(cond: Cond) -> str:
+    if isinstance(cond, BoolLit):
+        return "true" if cond.value else "false"
+    if isinstance(cond, Cmp):
+        return f"{format_expr(cond.left)} {cond.op} {format_expr(cond.right)}"
+    if isinstance(cond, Not):
+        return f"not ({format_cond(cond.arg)})"
+    if isinstance(cond, And):
+        return f"({format_cond(cond.left)}) and ({format_cond(cond.right)})"
+    if isinstance(cond, Or):
+        return f"({format_cond(cond.left)}) or ({format_cond(cond.right)})"
+    raise TypeError(f"unknown condition {cond!r}")
+
+
+def format_dist(dist: Distribution) -> str:
+    if isinstance(dist, Uniform):
+        return f"uniform({dist.a:g}, {dist.b:g})"
+    if isinstance(dist, Discrete):
+        # Shortest-roundtrip float formatting: probabilities must re-parse
+        # to values summing exactly to 1.
+        inner = ", ".join(f"{v!r}: {p!r}" for v, p in dist.outcomes)
+        return f"discrete({inner})"
+    raise TypeError(f"unknown distribution {dist!r}")
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, Skip):
+        return f"{pad}skip"
+    if isinstance(stmt, Tick):
+        return f"{pad}tick({stmt.cost:g})"
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.var} := {format_expr(stmt.expr)}"
+    if isinstance(stmt, Sample):
+        return f"{pad}{stmt.var} ~ {format_dist(stmt.dist)}"
+    if isinstance(stmt, Call):
+        return f"{pad}call {stmt.func}"
+    if isinstance(stmt, Seq):
+        return ";\n".join(format_stmt(s, indent) for s in stmt.stmts)
+    if isinstance(stmt, ProbBranch):
+        header = f"{pad}if prob({stmt.prob:g}) then"
+        return _format_branches(header, stmt.then_branch, stmt.else_branch, indent)
+    if isinstance(stmt, NondetBranch):
+        header = f"{pad}if ndet then"
+        return _format_branches(header, stmt.left, stmt.right, indent)
+    if isinstance(stmt, IfBranch):
+        header = f"{pad}if {format_cond(stmt.cond)} then"
+        return _format_branches(header, stmt.then_branch, stmt.else_branch, indent)
+    if isinstance(stmt, While):
+        inv = ""
+        if stmt.invariant:
+            inv = " inv(" + ", ".join(format_cond(c) for c in stmt.invariant) + ")"
+        body = format_stmt(stmt.body, indent + 1)
+        return f"{pad}while {format_cond(stmt.cond)}{inv} do\n{body}\n{pad}od"
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _format_branches(header: str, then_branch: Stmt, else_branch: Stmt, indent: int) -> str:
+    pad = "  " * indent
+    lines = [header, format_stmt(then_branch, indent + 1)]
+    if not isinstance(else_branch, Skip):
+        lines.append(f"{pad}else")
+        lines.append(format_stmt(else_branch, indent + 1))
+    lines.append(f"{pad}fi")
+    return "\n".join(lines)
+
+
+def format_fun(fun: FunDef) -> str:
+    ints = ""
+    if fun.integers:
+        ints = " int(" + ", ".join(fun.integers) + ")"
+    pre = ""
+    if fun.pre:
+        pre = " pre(" + ", ".join(format_cond(c) for c in fun.pre) + ")"
+    body = format_stmt(fun.body, 1)
+    return f"func {fun.name}(){ints}{pre} begin\n{body}\nend"
+
+
+def format_program(program: Program) -> str:
+    ordered = sorted(program.functions.values(), key=lambda f: f.name != program.main)
+    return "\n\n".join(format_fun(f) for f in ordered)

@@ -1,0 +1,268 @@
+"""Static queries over Appl programs.
+
+The analysis needs: the set of program variables (``VID``), per-function
+modified-variable sets (to havoc after calls in the abstract interpreter),
+the call graph, and basic well-formedness validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (
+    And,
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Cmp,
+    Cond,
+    Const,
+    Expr,
+    IfBranch,
+    NondetBranch,
+    Not,
+    Or,
+    ProbBranch,
+    Program,
+    Sample,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    Var,
+    While,
+)
+
+
+class ValidationError(Exception):
+    pass
+
+
+def expr_vars(expr: Expr) -> set[str]:
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, BinOp):
+        return expr_vars(expr.left) | expr_vars(expr.right)
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def cond_vars(cond: Cond) -> set[str]:
+    if isinstance(cond, BoolLit):
+        return set()
+    if isinstance(cond, Cmp):
+        return expr_vars(cond.left) | expr_vars(cond.right)
+    if isinstance(cond, Not):
+        return cond_vars(cond.arg)
+    if isinstance(cond, (And, Or)):
+        return cond_vars(cond.left) | cond_vars(cond.right)
+    raise TypeError(f"unknown condition {cond!r}")
+
+
+def stmt_vars(stmt: Stmt) -> set[str]:
+    """All variables read or written by ``stmt``."""
+    if isinstance(stmt, (Skip, Tick, Call)):
+        return set()
+    if isinstance(stmt, Assign):
+        return {stmt.var} | expr_vars(stmt.expr)
+    if isinstance(stmt, Sample):
+        return {stmt.var}
+    if isinstance(stmt, Seq):
+        out: set[str] = set()
+        for s in stmt.stmts:
+            out |= stmt_vars(s)
+        return out
+    if isinstance(stmt, ProbBranch):
+        return stmt_vars(stmt.then_branch) | stmt_vars(stmt.else_branch)
+    if isinstance(stmt, NondetBranch):
+        return stmt_vars(stmt.left) | stmt_vars(stmt.right)
+    if isinstance(stmt, IfBranch):
+        return (
+            cond_vars(stmt.cond)
+            | stmt_vars(stmt.then_branch)
+            | stmt_vars(stmt.else_branch)
+        )
+    if isinstance(stmt, While):
+        return cond_vars(stmt.cond) | stmt_vars(stmt.body)
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def assigned_vars(stmt: Stmt) -> set[str]:
+    """Variables written (assigned or sampled) by ``stmt``, not via calls."""
+    if isinstance(stmt, (Skip, Tick, Call)):
+        return set()
+    if isinstance(stmt, Assign):
+        return {stmt.var}
+    if isinstance(stmt, Sample):
+        return {stmt.var}
+    if isinstance(stmt, Seq):
+        out: set[str] = set()
+        for s in stmt.stmts:
+            out |= assigned_vars(s)
+        return out
+    if isinstance(stmt, ProbBranch):
+        return assigned_vars(stmt.then_branch) | assigned_vars(stmt.else_branch)
+    if isinstance(stmt, NondetBranch):
+        return assigned_vars(stmt.left) | assigned_vars(stmt.right)
+    if isinstance(stmt, IfBranch):
+        return assigned_vars(stmt.then_branch) | assigned_vars(stmt.else_branch)
+    if isinstance(stmt, While):
+        return assigned_vars(stmt.body)
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def called_funs(stmt: Stmt) -> set[str]:
+    if isinstance(stmt, Call):
+        return {stmt.func}
+    if isinstance(stmt, Seq):
+        out: set[str] = set()
+        for s in stmt.stmts:
+            out |= called_funs(s)
+        return out
+    if isinstance(stmt, ProbBranch):
+        return called_funs(stmt.then_branch) | called_funs(stmt.else_branch)
+    if isinstance(stmt, NondetBranch):
+        return called_funs(stmt.left) | called_funs(stmt.right)
+    if isinstance(stmt, IfBranch):
+        return called_funs(stmt.then_branch) | called_funs(stmt.else_branch)
+    if isinstance(stmt, While):
+        return called_funs(stmt.body)
+    return set()
+
+
+@dataclass
+class ProgramInfo:
+    """Summary facts the analyses share."""
+
+    variables: tuple[str, ...]
+    call_graph: dict[str, set[str]]
+    modsets: dict[str, set[str]]
+    reachable: set[str] = field(default_factory=set)
+    integer_vars: frozenset[str] = frozenset()
+
+    def modset(self, func: str) -> set[str]:
+        return self.modsets[func]
+
+
+def _collect_writes(stmt: Stmt, out: list[Stmt]) -> None:
+    if isinstance(stmt, (Assign, Sample)):
+        out.append(stmt)
+    elif isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _collect_writes(s, out)
+    elif isinstance(stmt, ProbBranch):
+        _collect_writes(stmt.then_branch, out)
+        _collect_writes(stmt.else_branch, out)
+    elif isinstance(stmt, NondetBranch):
+        _collect_writes(stmt.left, out)
+        _collect_writes(stmt.right, out)
+    elif isinstance(stmt, IfBranch):
+        _collect_writes(stmt.then_branch, out)
+        _collect_writes(stmt.else_branch, out)
+    elif isinstance(stmt, While):
+        _collect_writes(stmt.body, out)
+
+
+def _expr_is_integer(expr: Expr, integer_vars: set[str]) -> bool:
+    if isinstance(expr, Const):
+        return float(expr.value).is_integer()
+    if isinstance(expr, Var):
+        return expr.name in integer_vars
+    if isinstance(expr, BinOp):
+        return _expr_is_integer(expr.left, integer_vars) and _expr_is_integer(
+            expr.right, integer_vars
+        )
+    return False
+
+
+def integer_valued_vars(program: Program) -> frozenset[str]:
+    """Variables provably integer-valued along every execution.
+
+    Greatest fixpoint: start with all written variables, and remove any
+    variable with a write that is not (a) an assignment whose expression is
+    built from integer constants and integer variables with +/-/*, or (b) a
+    sample from a distribution with integer support values.  This is the
+    congruence information APRON's integer domains give the paper's tool;
+    it lets guard negations be strengthened (``not (x > 0)`` to ``x <= 0``
+    together with ``x > 0`` to ``x >= 1``).
+    """
+    writes: list[Stmt] = []
+    declared: set[str] = set()
+    for fun in program.functions.values():
+        _collect_writes(fun.body, writes)
+        declared |= set(fun.integers)
+    written = {w.var for w in writes}  # type: ignore[union-attr]
+    # Declared-but-written variables still go through the fixpoint below;
+    # declarations are only trusted for pure parameters.
+    integer_vars = written | (declared - written)
+    changed = True
+    while changed:
+        changed = False
+        for write in writes:
+            if isinstance(write, Sample):
+                from repro.lang.ast import Discrete
+
+                dist = write.dist
+                ok = isinstance(dist, Discrete) and all(
+                    float(v).is_integer() for v, _ in dist.outcomes
+                )
+            else:
+                assert isinstance(write, Assign)
+                ok = _expr_is_integer(write.expr, integer_vars)
+            if not ok and write.var in integer_vars:
+                integer_vars.discard(write.var)
+                changed = True
+    return frozenset(integer_vars)
+
+
+def analyze_program(program: Program) -> ProgramInfo:
+    """Validate ``program`` and compute the shared static summary."""
+    all_vars: set[str] = set()
+    call_graph: dict[str, set[str]] = {}
+    for name, fun in program.functions.items():
+        all_vars |= stmt_vars(fun.body)
+        for cond in fun.pre:
+            all_vars |= cond_vars(cond)
+        call_graph[name] = called_funs(fun.body)
+
+    for name, callees in call_graph.items():
+        for callee in callees:
+            if callee not in program.functions:
+                raise ValidationError(
+                    f"function {name!r} calls undefined function {callee!r}"
+                )
+
+    # Reachability from main.
+    reachable: set[str] = set()
+    frontier = [program.main]
+    while frontier:
+        fn = frontier.pop()
+        if fn in reachable:
+            continue
+        reachable.add(fn)
+        frontier.extend(call_graph[fn])
+
+    # Transitive modsets: least fixpoint over the call graph.
+    direct = {
+        name: assigned_vars(fun.body) for name, fun in program.functions.items()
+    }
+    modsets = {name: set(vs) for name, vs in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in call_graph.items():
+            for callee in callees:
+                extra = modsets[callee] - modsets[name]
+                if extra:
+                    modsets[name] |= extra
+                    changed = True
+
+    return ProgramInfo(
+        variables=tuple(sorted(all_vars)),
+        call_graph=call_graph,
+        modsets=modsets,
+        reachable=reachable,
+        integer_vars=integer_valued_vars(program),
+    )

@@ -1,0 +1,165 @@
+"""Logical contexts: the "polyhedra-lite" abstract domain.
+
+A :class:`Context` is a finite conjunction of linear inequalities over
+program variables (or bottom, for unreachable code).  It supports exactly
+the operations the derivation system and abstract interpreter need:
+
+* strongest-postcondition transfer for (invertible) linear assignments,
+* sampling (havoc + support bounds),
+* havoc for function calls,
+* join at control-flow merges (mutual-entailment filtering),
+* entailment queries (Farkas/LP, exact over the reals).
+
+This stands in for APRON in the paper's implementation; see DESIGN.md
+section 2 for why the substitution is behaviour-preserving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Cond, Expr
+from repro.logic import entail
+from repro.logic.linear import LinExpr, LinIneq, cond_to_ineqs
+
+
+@dataclass(frozen=True)
+class Context:
+    ineqs: tuple[LinIneq, ...] = ()
+    bottom: bool = False
+    #: Variables known integer-valued; lets assume() strengthen strict
+    #: comparisons (see repro.logic.linear.cmp_to_ineqs).
+    integer_vars: frozenset = frozenset()
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def top(integer_vars: frozenset = frozenset()) -> "Context":
+        return Context((), False, integer_vars)
+
+    @staticmethod
+    def bot() -> "Context":
+        return Context((), True)
+
+    @staticmethod
+    def of_conds(
+        conds: "list[Cond] | tuple[Cond, ...]",
+        integer_vars: frozenset = frozenset(),
+    ) -> "Context":
+        ctx = Context.top(integer_vars)
+        for cond in conds:
+            ctx = ctx.assume(cond)
+        return ctx
+
+    # -- structure ---------------------------------------------------------------
+
+    def _with(self, new_ineqs: list[LinIneq]) -> "Context":
+        seen: list[LinIneq] = []
+        for ineq in new_ineqs:
+            if ineq.is_trivial() or ineq in seen:
+                continue
+            seen.append(ineq)
+        return Context(tuple(seen), False, self.integer_vars)
+
+    def add(self, *ineqs: LinIneq) -> "Context":
+        if self.bottom:
+            return self
+        return self._with(list(self.ineqs) + list(ineqs))
+
+    def assume(self, cond: Cond) -> "Context":
+        if self.bottom:
+            return self
+        ineqs = cond_to_ineqs(cond, self.integer_vars)
+        if ineqs is None:
+            return Context.bot()
+        return self.add(*ineqs)
+
+    # -- transfer functions -------------------------------------------------------
+
+    def assign(self, var: str, expr: Expr) -> "Context":
+        """Strongest postcondition of ``var := expr`` (exact when linear)."""
+        if self.bottom:
+            return self
+        rhs = LinExpr.from_polynomial(expr.to_polynomial())
+        if rhs is None:
+            return self.havoc([var])
+        self_coeff = rhs.coeff(var)
+        if self_coeff != 0.0:
+            # Invertible update: old var = (var - rest) / coeff.
+            rest = rhs - LinExpr.var(var, self_coeff)
+            replacement = (LinExpr.var(var) - rest).scale(1.0 / self_coeff)
+            return self._with([g.substitute(var, replacement) for g in self.ineqs])
+        kept = [g for g in self.ineqs if var not in g.variables()]
+        equality = LinExpr.var(var) - rhs
+        kept.append(LinIneq(equality))
+        kept.append(LinIneq(-equality))
+        return self._with(kept)
+
+    def sample(self, var: str, support: tuple[float, float]) -> "Context":
+        """Transfer for ``var ~ D`` with ``support(D) ⊆ [lo, hi]``."""
+        if self.bottom:
+            return self
+        kept = [g for g in self.ineqs if var not in g.variables()]
+        lo, hi = support
+        if lo != float("-inf"):
+            kept.append(LinIneq(LinExpr.var(var) - lo))
+        if hi != float("inf"):
+            kept.append(LinIneq(LinExpr.constant(hi) - LinExpr.var(var)))
+        return self._with(kept)
+
+    def havoc(self, variables) -> "Context":
+        if self.bottom:
+            return self
+        variables = set(variables)
+        return self._with(
+            [g for g in self.ineqs if not (g.variables() & variables)]
+        )
+
+    def meet(self, other: "Context") -> "Context":
+        if self.bottom or other.bottom:
+            return Context.bot()
+        return self.add(*other.ineqs)
+
+    def join(self, other: "Context") -> "Context":
+        """Over-approximate union: keep mutually entailed facts."""
+        if self.bottom:
+            return other
+        if other.bottom:
+            return self
+        kept = [g for g in self.ineqs if other.entails(g)]
+        kept += [g for g in other.ineqs if self.entails(g) and g not in kept]
+        return self._with(kept)
+
+    # -- queries -----------------------------------------------------------------
+
+    def entails(self, ineq: LinIneq) -> bool:
+        if self.bottom:
+            return True
+        return entail.entails(self.ineqs, ineq)
+
+    def entails_all(self, ineqs) -> bool:
+        return all(self.entails(g) for g in ineqs)
+
+    def entails_cond(self, cond: Cond) -> bool:
+        ineqs = cond_to_ineqs(cond, self.integer_vars)
+        if ineqs is None:
+            return self.bottom
+        return self.entails_all(ineqs)
+
+    def is_feasible(self) -> bool:
+        if self.bottom:
+            return False
+        return entail.is_feasible(self.ineqs)
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for g in self.ineqs:
+            out |= g.variables()
+        return out
+
+    def __repr__(self) -> str:
+        if self.bottom:
+            return "⊥"
+        if not self.ineqs:
+            return "⊤"
+        return " ∧ ".join(repr(g) for g in self.ineqs)

@@ -1,0 +1,74 @@
+"""Entailment between linear assertions, decided exactly via LP.
+
+``Γ |= e >= 0`` over the reals holds iff the minimum of ``e`` subject to the
+constraints of Γ is nonnegative (including the vacuous case where Γ is
+infeasible).  By LP duality this is equivalent to the Farkas certificate
+``e = λ0 + Σ λ_i g_i`` with ``λ >= 0`` that the paper's rewrite functions
+use; solving the primal with HiGHS is both exact enough and simpler.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.logic.linear import LinExpr, LinIneq
+
+
+@lru_cache(maxsize=100_000)
+def _entails_cached(
+    gamma: tuple[LinIneq, ...], target: LinIneq
+) -> bool:
+    variables = sorted(
+        set().union(*(g.variables() for g in gamma), target.variables())
+        if gamma
+        else target.variables()
+    )
+    if not variables:
+        feasible = all(g.expr.const >= 0 for g in gamma)
+        return (not feasible) or target.expr.const >= -1e-9
+
+    index = {v: i for i, v in enumerate(variables)}
+    n = len(variables)
+
+    # Constraints g_i(x) >= 0  become  -coeffs . x <= const.
+    a_ub = np.zeros((len(gamma), n))
+    b_ub = np.zeros(len(gamma))
+    for row, g in enumerate(gamma):
+        for v, c in g.expr.coeffs:
+            a_ub[row, index[v]] = -c
+        b_ub[row] = g.expr.const
+
+    objective = np.zeros(n)
+    for v, c in target.expr.coeffs:
+        objective[index[v]] = c
+
+    result = linprog(
+        objective,
+        A_ub=a_ub if len(gamma) else None,
+        b_ub=b_ub if len(gamma) else None,
+        bounds=[(None, None)] * n,
+        method="highs",
+    )
+    if result.status == 2:  # infeasible context entails everything
+        return True
+    if result.status == 3:  # unbounded below
+        return False
+    if not result.success:
+        return False
+    return result.fun + target.expr.const >= -1e-7
+
+
+def entails(gamma: "tuple[LinIneq, ...] | list[LinIneq]", target: LinIneq) -> bool:
+    """Does the conjunction of ``gamma`` entail ``target`` over the reals?"""
+    if target.is_trivial():
+        return True
+    return _entails_cached(tuple(gamma), target)
+
+
+def is_feasible(gamma: "tuple[LinIneq, ...] | list[LinIneq]") -> bool:
+    """Is the conjunction of ``gamma`` satisfiable over the reals?"""
+    contradiction = LinIneq(LinExpr.constant(-1.0))
+    return not entails(tuple(gamma), contradiction)

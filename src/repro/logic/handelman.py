@@ -1,0 +1,89 @@
+"""Handelman-style nonnegativity certificates ("rewrite functions").
+
+To discharge ``Γ |= p >= 0`` for a *template* polynomial ``p`` (coefficients
+affine in LP unknowns), the paper represents the slack as a conical
+combination of products of the constraints of Γ (section 3.4: slack
+polynomials as "conical combinations of expressions E in Γ", generalized to
+products for polynomial templates — Handelman's Positivstellensatz).
+
+:func:`certificate_products` enumerates the products ``g_{i1} * ... * g_{ik}``
+of degree at most ``degree`` (including the empty product 1);
+:func:`emit_nonneg_certificate` adds to an LP the fresh multipliers
+``λ_j >= 0`` and the coefficient-matching equalities ``p == Σ λ_j prod_j``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.logic.context import Context
+from repro.lp.affine import AffForm
+from repro.lp.problem import LPProblem
+from repro.poly.polynomial import Polynomial
+
+#: Safety valve: contexts are small (a handful of constraints), but product
+#: enumeration is combinatorial; certificates beyond this size indicate a
+#: modelling problem rather than a precision need.
+MAX_PRODUCTS = 2000
+
+
+def certificate_products(ctx: Context, degree: int) -> list[Polynomial]:
+    """All products of Γ-constraints with total degree <= ``degree``.
+
+    The first element is always the constant polynomial 1 (the ``λ0`` term).
+    Duplicate constraints are skipped.
+    """
+    products: list[Polynomial] = [Polynomial.constant(1.0)]
+    if degree <= 0:
+        return products
+    base = [g.expr.to_polynomial() for g in ctx.ineqs]
+    for size in range(1, degree + 1):
+        for combo in itertools.combinations_with_replacement(range(len(base)), size):
+            prod = Polynomial.constant(1.0)
+            for i in combo:
+                prod = prod * base[i]
+            products.append(prod)
+            if len(products) > MAX_PRODUCTS:
+                raise ValueError(
+                    f"Handelman certificate blow-up: more than {MAX_PRODUCTS} "
+                    f"products for a context with {len(base)} constraints at "
+                    f"degree {degree}"
+                )
+    return products
+
+
+def emit_nonneg_certificate(
+    lp: LPProblem,
+    ctx: Context,
+    poly: Polynomial,
+    degree: int,
+    label: str = "cert",
+) -> None:
+    """Constrain ``poly >= 0`` to hold under ``ctx`` (sufficient condition).
+
+    Emits ``poly == Σ_j λ_j prod_j`` with fresh ``λ_j >= 0`` into ``lp``.
+    A bottom context makes the requirement vacuous.
+    """
+    if ctx.bottom or poly.is_zero():
+        return
+    if poly.is_constant() and poly.is_concrete():
+        if float(poly.constant_value()) < -1e-9:
+            raise ValueError(f"constant certificate target {poly!r} is negative")
+        return
+    cert_degree = max(degree, poly.degree())
+    products = certificate_products(ctx, cert_degree)
+    combination = Polynomial.zero()
+    for j, prod in enumerate(products):
+        lam = lp.fresh_nonneg(f"{label}.λ{j}")
+        combination = combination + prod.map_coefficients(
+            lambda c, lam=lam: AffForm.of_var(lam, float(c))
+        )
+    difference = poly - combination
+    for mono, coeff in difference.coeffs.items():
+        lp.add_eq(_as_aff(coeff), note=f"{label}[{mono!r}]")
+
+
+def _as_aff(coeff) -> AffForm:
+    if isinstance(coeff, AffForm):
+        return coeff
+    return AffForm.constant(float(coeff))

@@ -1,0 +1,221 @@
+"""Linear assertions over program variables.
+
+Logical contexts Γ in the derivation system are conjunctions of linear
+inequalities ``e >= 0`` over program variables (section 3.4: "Γ is a set of
+linear constraints over program variables of the form E >= 0").  Strict
+comparisons from program guards are relaxed to their closures, which is sound
+for bound derivation (the paper's implementation does the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import And, BoolLit, Cmp, Cond, Not, Or
+from repro.poly.monomial import Monomial
+from repro.poly.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """``const + sum_i coeff_i * x_i`` over *program* variables."""
+
+    coeffs: tuple[tuple[str, float], ...]
+    const: float = 0.0
+
+    @staticmethod
+    def build(coeffs: dict[str, float], const: float = 0.0) -> "LinExpr":
+        items = tuple(sorted((v, float(c)) for v, c in coeffs.items() if c != 0.0))
+        return LinExpr(items, float(const))
+
+    @staticmethod
+    def constant(value: float) -> "LinExpr":
+        return LinExpr((), float(value))
+
+    @staticmethod
+    def var(name: str, coeff: float = 1.0) -> "LinExpr":
+        return LinExpr.build({name: coeff})
+
+    @staticmethod
+    def from_polynomial(poly: Polynomial) -> "LinExpr | None":
+        """Convert a degree <= 1 concrete polynomial; None otherwise."""
+        if poly.degree() > 1 or not poly.is_concrete():
+            return None
+        coeffs: dict[str, float] = {}
+        const = 0.0
+        for mono, c in poly.coeffs.items():
+            if mono.is_unit():
+                const = float(c)
+            else:
+                ((var, _),) = mono.powers
+                coeffs[var] = float(c)
+        return LinExpr.build(coeffs, const)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "LinExpr | float | int") -> "LinExpr":
+        other = _coerce(other)
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs:
+            coeffs[v] = coeffs.get(v, 0.0) + c
+        return LinExpr.build(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr(tuple((v, -c) for v, c in self.coeffs), -self.const)
+
+    def __sub__(self, other: "LinExpr | float | int") -> "LinExpr":
+        return self + (-_coerce(other))
+
+    def scale(self, scalar: float) -> "LinExpr":
+        if scalar == 0:
+            return LinExpr.constant(0.0)
+        return LinExpr(
+            tuple((v, c * scalar) for v, c in self.coeffs), self.const * scalar
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def coeff(self, var: str) -> float:
+        for v, c in self.coeffs:
+            if v == var:
+                return c
+        return 0.0
+
+    def variables(self) -> set[str]:
+        return {v for v, _ in self.coeffs}
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, valuation: dict[str, float]) -> float:
+        return self.const + sum(c * valuation[v] for v, c in self.coeffs)
+
+    def substitute(self, var: str, replacement: "LinExpr") -> "LinExpr":
+        c = self.coeff(var)
+        if c == 0.0:
+            return self
+        coeffs = {v: cc for v, cc in self.coeffs if v != var}
+        base = LinExpr.build(coeffs, self.const)
+        return base + replacement.scale(c)
+
+    def to_polynomial(self) -> Polynomial:
+        poly = Polynomial.constant(self.const)
+        for v, c in self.coeffs:
+            poly = poly + Polynomial({Monomial.of(v): c})
+        return poly
+
+    def __repr__(self) -> str:
+        parts = []
+        for v, c in self.coeffs:
+            parts.append(f"{c:+g}*{v}")
+        if self.const or not parts:
+            parts.append(f"{self.const:+g}")
+        return " ".join(parts).lstrip("+")
+
+
+def _coerce(value: "LinExpr | float | int") -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, (int, float)):
+        return LinExpr.constant(float(value))
+    raise TypeError(f"cannot coerce {value!r} to LinExpr")
+
+
+@dataclass(frozen=True)
+class LinIneq:
+    """The assertion ``expr >= 0``."""
+
+    expr: LinExpr
+
+    def variables(self) -> set[str]:
+        return self.expr.variables()
+
+    def holds(self, valuation: dict[str, float], tol: float = 1e-9) -> bool:
+        return self.expr.evaluate(valuation) >= -tol
+
+    def substitute(self, var: str, replacement: LinExpr) -> "LinIneq":
+        return LinIneq(self.expr.substitute(var, replacement))
+
+    def is_trivial(self) -> bool:
+        return self.expr.is_constant() and self.expr.const >= 0.0
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r} >= 0"
+
+
+def _is_integer_linexpr(expr: LinExpr, integer_vars: frozenset[str]) -> bool:
+    if not float(expr.const).is_integer():
+        return False
+    return all(
+        v in integer_vars and float(c).is_integer() for v, c in expr.coeffs
+    )
+
+
+def cmp_to_ineqs(
+    cmp: Cmp, integer_vars: frozenset[str] = frozenset()
+) -> list[LinIneq] | None:
+    """``e1 <op> e2`` as a list of closed linear inequalities, or None.
+
+    Strict comparisons over *integer-valued* linear expressions are
+    strengthened (``e1 < e2`` to ``e1 <= e2 - 1``) — the congruence
+    reasoning APRON's integer domains provide in the paper's tool.
+    Otherwise strict comparisons are relaxed to their closure.
+    Disequalities carry no closed linear information and yield [].
+    """
+    left = LinExpr.from_polynomial(cmp.left.to_polynomial())
+    right = LinExpr.from_polynomial(cmp.right.to_polynomial())
+    if left is None or right is None:
+        return None
+    diff = right - left  # right - left >= 0  encodes  left <= right
+    strict_gap = 1.0 if _is_integer_linexpr(diff, integer_vars) else 0.0
+    if cmp.op == "<=":
+        return [LinIneq(diff)]
+    if cmp.op == "<":
+        return [LinIneq(diff - strict_gap)]
+    if cmp.op == ">=":
+        return [LinIneq(-diff)]
+    if cmp.op == ">":
+        return [LinIneq((-diff) - strict_gap)]
+    if cmp.op == "==":
+        return [LinIneq(diff), LinIneq(-diff)]
+    if cmp.op == "!=":
+        return []
+    raise ValueError(f"unknown comparison {cmp.op!r}")
+
+
+def cond_to_ineqs(
+    cond: Cond, integer_vars: frozenset[str] = frozenset()
+) -> list[LinIneq] | None:
+    """Conjunctive linear approximation of ``cond``.
+
+    Returns the list of inequalities entailed by ``cond`` (the closed linear
+    part of its conjuncts).  Disjunctions and negations of compounds
+    contribute nothing (empty list); ``false`` returns None, which callers
+    treat as an unreachable (bottom) context.
+    """
+    if isinstance(cond, BoolLit):
+        return None if not cond.value else []
+    if isinstance(cond, Cmp):
+        ineqs = cmp_to_ineqs(cond, integer_vars)
+        return [] if ineqs is None else ineqs
+    if isinstance(cond, And):
+        left = cond_to_ineqs(cond.left, integer_vars)
+        right = cond_to_ineqs(cond.right, integer_vars)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(cond, Not):
+        inner = cond.arg.negate()
+        if isinstance(inner, Not):
+            # ``not (not c)`` — negate() already unwraps, defensive only.
+            return cond_to_ineqs(inner.arg, integer_vars)
+        if inner is cond.arg:
+            return []
+        return cond_to_ineqs(inner, integer_vars)
+    if isinstance(cond, Or):
+        # Sound weakening: keep only facts common to both disjuncts is
+        # expensive; contribute nothing.
+        return []
+    raise TypeError(f"unknown condition {cond!r}")

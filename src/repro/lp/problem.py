@@ -1,0 +1,198 @@
+"""Linear-program assembly and solving (HiGHS via scipy).
+
+The derivation system emits (a) equalities between affine forms — polynomial
+coefficient matching — and (b) sign constraints on certificate multipliers.
+The objective minimizes the imprecision of the main pre-annotation evaluated
+at user-supplied concrete valuations (section 3.4, "Solving linear
+constraints").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.lp.affine import AffForm, LinVar, VarPool
+
+
+class LPError(Exception):
+    pass
+
+
+class LPInfeasibleError(LPError):
+    """No potential annotation of the requested shape exists.
+
+    Raising the template degree, adding loop invariants / pre-conditions, or
+    lowering the target moment degree are the standard remedies.
+    """
+
+
+@dataclass
+class LPSolution:
+    values: np.ndarray
+    objective: float
+    status: str
+
+    def value_of(self, var: LinVar) -> float:
+        return float(self.values[var.index])
+
+    def assignment(self) -> np.ndarray:
+        return self.values
+
+
+@dataclass
+class LPProblem:
+    pool: VarPool = field(default_factory=VarPool)
+    _eq_rows: list[AffForm] = field(default_factory=list)
+    _ge_rows: list[AffForm] = field(default_factory=list)
+    _nonneg: set[int] = field(default_factory=set)
+    _notes: dict[int, str] = field(default_factory=dict)
+
+    # -- variables -------------------------------------------------------------
+
+    def fresh(self, name: str) -> LinVar:
+        return self.pool.fresh(name)
+
+    def fresh_nonneg(self, name: str) -> LinVar:
+        var = self.pool.fresh(name)
+        self._nonneg.add(var.index)
+        return var
+
+    # -- constraints -------------------------------------------------------------
+
+    def add_eq(self, form: AffForm, note: str = "") -> None:
+        """Require ``form == 0``."""
+        if form.is_constant():
+            if abs(form.const) > 1e-9:
+                raise LPInfeasibleError(
+                    f"contradictory constant constraint {form.const} == 0"
+                    + (f" ({note})" if note else "")
+                )
+            return
+        if note:
+            self._notes[len(self._eq_rows)] = note
+        self._eq_rows.append(form)
+
+    def add_ge(self, form: AffForm, note: str = "") -> None:
+        """Require ``form >= 0``."""
+        if form.is_constant():
+            if form.const < -1e-9:
+                raise LPInfeasibleError(
+                    f"contradictory constant constraint {form.const} >= 0"
+                    + (f" ({note})" if note else "")
+                )
+            return
+        self._ge_rows.append(form)
+
+    def add_le(self, form: AffForm, note: str = "") -> None:
+        self.add_ge(-form, note)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.pool)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._eq_rows) + len(self._ge_rows)
+
+    # -- solving ----------------------------------------------------------------------
+
+    def _matrix(self, rows: list[AffForm]) -> tuple[sparse.csr_matrix, np.ndarray]:
+        data: list[float] = []
+        row_idx: list[int] = []
+        col_idx: list[int] = []
+        rhs = np.zeros(len(rows))
+        for r, form in enumerate(rows):
+            rhs[r] = -form.const
+            for idx, coeff in form.terms.items():
+                row_idx.append(r)
+                col_idx.append(idx)
+                data.append(coeff)
+        mat = sparse.csr_matrix(
+            (data, (row_idx, col_idx)), shape=(len(rows), len(self.pool))
+        )
+        return mat, rhs
+
+    def solve(
+        self,
+        objective: AffForm | None = None,
+        minimize: bool = True,
+        bound: float = 1e12,
+        regularization: float = 1e-7,
+    ) -> LPSolution:
+        """Solve the accumulated system, optimizing ``objective``.
+
+        Free variables are boxed at ``±bound`` to rule out unbounded rays
+        (an unbounded objective means the bound template is degenerate;
+        boxing keeps the solution meaningful and finite).
+
+        ``regularization`` adds a tiny cost on every nonnegative variable
+        (the Handelman certificate multipliers): certificates are massively
+        non-unique, and the resulting degenerate optimal faces are what
+        occasionally drives HiGHS to give up; preferring small certificates
+        breaks the ties at negligible cost to the optimum.
+        """
+        n = len(self.pool)
+        if n == 0:
+            return LPSolution(np.zeros(0), 0.0, "optimal")
+
+        base_cost = np.zeros(n)
+        const_term = 0.0
+        if objective is not None:
+            const_term = objective.const
+            for idx, coeff in objective.terms.items():
+                base_cost[idx] = coeff if minimize else -coeff
+
+        a_eq, b_eq = self._matrix(self._eq_rows)
+        kwargs = {}
+        if self._ge_rows:
+            a_ge, b_ge = self._matrix(self._ge_rows)
+            kwargs["A_ub"] = -a_ge
+            kwargs["b_ub"] = -b_ge
+
+        # HiGHS occasionally reports "unknown" on the massively degenerate
+        # optimal faces these certificate systems have.  The cascade tries:
+        # the plain problem with each HiGHS variant, then a tiny ridge on
+        # the certificate multipliers (ties broken toward small
+        # certificates), then tighter variable boxes.
+        attempts = [
+            (0.0, bound, "highs"),
+            (0.0, bound, "highs-ds"),
+            (regularization, bound, "highs"),
+            (regularization, min(bound, 1e9), "highs"),
+            (100 * regularization, min(bound, 1e8), "highs"),
+            (0.0, bound, "highs-ipm"),
+        ]
+        result = None
+        for reg, box, method in attempts:
+            cost = base_cost.copy()
+            if reg and objective is not None:
+                for idx in self._nonneg:
+                    cost[idx] += reg
+            bounds = [
+                (0.0, box) if i in self._nonneg else (-box, box) for i in range(n)
+            ]
+            result = linprog(
+                cost,
+                A_eq=a_eq if len(self._eq_rows) else None,
+                b_eq=b_eq if len(self._eq_rows) else None,
+                bounds=bounds,
+                method=method,
+                **kwargs,
+            )
+            if result.status == 2 and box == bound:
+                raise LPInfeasibleError(
+                    "LP infeasible: no potential annotation of this shape exists "
+                    "(try a higher polynomial degree or stronger invariants)"
+                )
+            if result.success:
+                break
+        if not result.success:
+            raise LPError(f"LP solver failed: {result.message}")
+        value = float(result.fun) + (const_term if minimize else -const_term)
+        if not minimize:
+            value = -value
+        return LPSolution(np.asarray(result.x), value, "optimal")

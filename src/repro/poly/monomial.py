@@ -1,0 +1,108 @@
+"""Monomials over program variables.
+
+A monomial is a finite map from variable names to positive integer exponents,
+stored as a sorted tuple so it is hashable and has a canonical form.  These
+are the index set of the sparse polynomials in :mod:`repro.poly.polynomial`,
+which in turn are the interval ends of the moment annotations (section 3.3 of
+the paper: "we represent the ends of intervals by polynomials over program
+variables").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A power product ``prod_i x_i^{e_i}`` with all ``e_i >= 1``."""
+
+    powers: tuple[tuple[str, int], ...]
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def unit() -> "Monomial":
+        """The empty product (degree 0)."""
+        return _UNIT
+
+    @staticmethod
+    def of(var: str, exponent: int = 1) -> "Monomial":
+        if exponent < 0:
+            raise ValueError("monomial exponents must be nonnegative")
+        if exponent == 0:
+            return _UNIT
+        return Monomial(((var, exponent),))
+
+    @staticmethod
+    def from_dict(powers: dict[str, int]) -> "Monomial":
+        items = tuple(sorted((v, e) for v, e in powers.items() if e > 0))
+        if any(e < 0 for _, e in items):
+            raise ValueError("monomial exponents must be nonnegative")
+        return Monomial(items)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return sum(e for _, e in self.powers)
+
+    def exponent_of(self, var: str) -> int:
+        for v, e in self.powers:
+            if v == var:
+                return e
+        return 0
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(v for v, _ in self.powers)
+
+    def is_unit(self) -> bool:
+        return not self.powers
+
+    # -- algebra -------------------------------------------------------------
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        if self.is_unit():
+            return other
+        if other.is_unit():
+            return self
+        merged: dict[str, int] = dict(self.powers)
+        for v, e in other.powers:
+            merged[v] = merged.get(v, 0) + e
+        return Monomial.from_dict(merged)
+
+    def without(self, var: str) -> "Monomial":
+        """Drop ``var`` entirely from the power product."""
+        return Monomial(tuple((v, e) for v, e in self.powers if v != var))
+
+    def evaluate(self, valuation: dict[str, float]) -> float:
+        result = 1.0
+        for v, e in self.powers:
+            result *= valuation[v] ** e
+        return result
+
+    def __repr__(self) -> str:
+        if self.is_unit():
+            return "1"
+        return "*".join(v if e == 1 else f"{v}^{e}" for v, e in self.powers)
+
+
+_UNIT = Monomial(())
+
+
+def monomials_up_to_degree(variables: list[str], degree: int) -> list[Monomial]:
+    """All monomials over ``variables`` of total degree at most ``degree``.
+
+    Ordered by (degree, lexicographic) so that template construction and
+    reporting are deterministic.
+    """
+    variables = sorted(variables)
+    result: list[Monomial] = [Monomial.unit()]
+    for deg in range(1, degree + 1):
+        for combo in itertools.combinations_with_replacement(variables, deg):
+            powers: dict[str, int] = {}
+            for v in combo:
+                powers[v] = powers.get(v, 0) + 1
+            result.append(Monomial.from_dict(powers))
+    return result

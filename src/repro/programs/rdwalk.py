@@ -1,0 +1,127 @@
+"""The paper's own example programs.
+
+* ``rdwalk``     — Fig. 2: the bounded, biased random walk (recursion +
+  continuous sampling).  The running example whose bounds Fig. 1(b) reports:
+  ``E[tick] <= 2d + 4``, ``E[tick^2] <= 4d^2 + 22d + 28``,
+  ``V[tick] <= 22d + 28``.
+* ``geo``        — Fig. 4: the purely probabilistic loop of Counterexample
+  2.7 (used to exercise the soundness checks; its true expected cost is 1).
+* ``rdwalk-var1`` / ``rdwalk-var2`` — the two variants of section 6
+  ("Discussion", Tab. 2 / Fig. 11): equal expected runtime, different shape
+  (variant 2 takes rarer, larger steps, so its runtime distribution is more
+  right-skewed and heavier-tailed).
+"""
+
+from repro.programs.registry import BenchProgram, register
+
+RDWALK_SOURCE = """
+func rdwalk() pre(x < d + 2) begin
+  if x < d then
+    t ~ uniform(-1, 2);
+    x := x + t;
+    call rdwalk;
+    tick(1)
+  fi
+end
+
+func main() pre(d > 0) begin
+  x := 0;
+  call rdwalk
+end
+"""
+
+register(
+    BenchProgram(
+        name="rdwalk",
+        source=RDWALK_SOURCE,
+        description="Fig. 2 bounded biased random walk (running example)",
+        valuation={"d": 10.0, "x": 0.0, "t": 0.0},
+        sim_init={"d": 10.0},
+        moment_degree=2,
+        template_degree=1,
+        paper={
+            "E_upper": "2d + 4",
+            "E2_upper": "4d^2 + 22d + 28",
+            "V_upper": "22d + 28",
+        },
+    )
+)
+
+GEO_SOURCE = """
+func geo() begin
+  x := x + 1;
+  if prob(0.5) then
+    tick(1);
+    call geo
+  fi
+end
+
+func main() begin
+  x := 0;
+  call geo
+end
+"""
+
+register(
+    BenchProgram(
+        name="geo",
+        source=GEO_SOURCE,
+        description="Fig. 4 purely probabilistic loop (Counterexample 2.7)",
+        valuation={"x": 0.0},
+        sim_init={},
+        moment_degree=2,
+        template_degree=1,
+        paper={"E_exact": 1.0},
+    )
+)
+
+# Two walks with the same expected runtime but different shapes.  Variant 1
+# takes steps of size 1 with mild bias; variant 2 usually idles and rarely
+# jumps by 4, with the same per-step drift, hence equal E[T] = 2x but a more
+# lopsided, heavier-tailed runtime distribution (larger skewness/kurtosis).
+
+RDWALK_VAR1_SOURCE = """
+func main() pre(x >= 0) begin
+  while x >= 1 inv(x >= 0) do
+    t ~ discrete(-1: 0.75, 1: 0.25);
+    x := x + t;
+    tick(1)
+  od
+end
+"""
+
+RDWALK_VAR2_SOURCE = """
+func main() pre(x >= 0) begin
+  while x >= 1 inv(x >= 0) do
+    t ~ discrete(3: 0.125, -1: 0.875);
+    x := x + t;
+    tick(1)
+  od
+end
+"""
+
+register(
+    BenchProgram(
+        name="rdwalk-var1",
+        source=RDWALK_VAR1_SOURCE,
+        description="Tab. 2 variant 1: +/-1 steps, drift -1/2, E[T] = 2x",
+        valuation={"x": 20.0, "t": 0.0},
+        sim_init={"x": 20.0},
+        moment_degree=4,
+        template_degree=1,
+        paper={"skewness": 2.1362, "kurtosis": 10.5633},
+    )
+)
+
+register(
+    BenchProgram(
+        name="rdwalk-var2",
+        source=RDWALK_VAR2_SOURCE,
+        description="Tab. 2 variant 2: rare +3 jumps, drift -1/2, E[T] = 2x",
+        valuation={"x": 20.0, "t": 0.0},
+        sim_init={"x": 20.0},
+        moment_degree=4,
+        template_degree=1,
+        paper={"skewness": 2.9635, "kurtosis": 17.5823},
+    )
+)

@@ -1,0 +1,99 @@
+"""Synthetic benchmark generators for the scalability study (Fig. 10).
+
+Two families, parameterized by ``N``:
+
+* :func:`coupon_chain` — an N-coupon collector written as N tail-recursive
+  state functions (one per number of distinct coupons collected), each
+  drawing coupons at unit cost until a fresh one appears.
+* :func:`rdwalk_chain` — N consecutive biased random walks written as N
+  *non-tail-recursive* functions (each, like Fig. 2's ``rdwalk``, ticks
+  after the recursive call); walk ``k+1`` starts at the number of steps
+  taken by walk ``k``, tracked in the shared step counter ``s``.
+
+The paper reports analysis time growing linearly in N for both families
+(their largest instance is ~16 kLoC of generated code); the benchmark
+``benchmarks/bench_fig10_scalability.py`` regenerates the same curves.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+
+
+def coupon_chain_source(n: int) -> str:
+    """N-coupon collector as a chain of tail-recursive state functions."""
+    if n < 1:
+        raise ValueError("need at least one coupon")
+    parts: list[str] = []
+    for k in range(n):
+        fresh = (n - k) / n  # probability the next draw is a new coupon
+        if k + 1 < n:
+            advance = f"call state{k + 1}"
+        else:
+            advance = "skip"
+        parts.append(
+            f"""
+func state{k}() begin
+  tick(1);
+  if prob({fresh!r}) then {advance} else call state{k} fi
+end
+"""
+        )
+    parts.append(
+        """
+func main() begin
+  call state0
+end
+"""
+    )
+    return "\n".join(parts)
+
+
+def coupon_chain(n: int) -> Program:
+    return parse_program(coupon_chain_source(n))
+
+
+def rdwalk_chain_source(n: int, start: int = 5) -> str:
+    """N chained non-tail-recursive random walks.
+
+    Each walk moves ``x`` down to 0 with P(down) = 3/4 steps of ±1, counts
+    its steps in ``s``, and ticks once per step *after* the recursive call
+    (non-tail recursion, as in Fig. 2).  The next walk starts at ``x := s``.
+    """
+    if n < 1:
+        raise ValueError("need at least one walk")
+    parts: list[str] = []
+    for k in range(n):
+        parts.append(
+            f"""
+func walk{k}() pre(x >= 0, s >= 0) begin
+  if x > 0 then
+    t ~ discrete(-1: 0.75, 1: 0.25);
+    x := x + t;
+    s := s + 1;
+    call walk{k};
+    tick(1)
+  fi
+end
+"""
+        )
+    body = [f"  x := {start};", "  s := 0;"]
+    for k in range(n):
+        body.append(f"  call walk{k};")
+        if k + 1 < n:
+            body.append("  x := s;")
+            body.append("  s := 0;")
+    main_body = "\n".join(body).rstrip(";")
+    parts.append(
+        f"""
+func main() begin
+{main_body}
+end
+"""
+    )
+    return "\n".join(parts)
+
+
+def rdwalk_chain(n: int, start: int = 5) -> Program:
+    return parse_program(rdwalk_chain_source(n, start))

@@ -1,0 +1,126 @@
+"""Timing-attack case study (Appendix I, DARPA STAC).
+
+Scalar Appl models of the ``compare(guess, secret)`` password checker of
+Fig. 16(b), specialized to the two scenarios the attack distinguishes when
+probing bit ``j`` (bits are processed from ``i = n`` down to 1):
+
+* ``timing-t1`` — ``secret[j] = guess[j]`` (and all higher bits equal): the
+  comparison stays on the expensive "still comparing" path for all n bits,
+  costing 11 per processed bit.
+* ``timing-t0`` — ``secret[j] = 0 < guess[j] = 1``: bits above ``j`` cost
+  11; at ``j`` the mismatch settles ``cmp``, after which every remaining
+  bit takes the cheap 6-cost path.
+
+The inner delay loop of Fig. 16(b) ("if prob(0.5) then break") is modeled
+with mutual recursion — ``outer``/``inner`` functions play the role of the
+original's CFG blocks, which keeps the exit states of the two loops
+distinguishable for the logical contexts (the flag-based while-encoding
+merges them behind a disjunction and loses the lower bounds).  Each break
+re-enters the outer loop, paying its 2-cost prologue again; hence the
+expected cost per processed bit is 11 + 2 = 13 (resp. 6 + 2 = 8 after the
+mismatch), reproducing the paper's
+
+    E[T1] in [13N, 15N],            V[T1] <= 26N^2 + 42N,
+    E[T0] in [13N - 5j, 13N - 3j],  V[T0] <= 8N - 36j^2 + 52Nj + 24j.
+
+The attack itself (success-rate computation via Cantelli) lives in
+:mod:`repro.tail.attack`.
+"""
+
+from repro.programs.registry import BenchProgram, register
+
+T1_SOURCE = """
+func outer() pre(i >= 0) begin
+  if i > 0 then
+    tick(2);
+    call inner
+  fi
+end
+
+func inner() pre(i >= 1) begin
+  if prob(0.5) then
+    call outer
+  else
+    tick(11);
+    i := i - 1;
+    if i > 0 then call inner fi
+  fi
+end
+
+func main() pre(i >= 0) begin
+  call outer
+end
+"""
+
+register(
+    BenchProgram(
+        name="timing-t1",
+        source=T1_SOURCE,
+        description="compare() when the probed bit matches: 11 per bit",
+        valuation={"i": 32.0},
+        extra_valuations=({"i": 5.0},),
+        sim_init={"i": 32.0},
+        moment_degree=2,
+        template_degree=1,
+        paper={"E": "[13N, 15N]", "V": "26N^2 + 42N"},
+    )
+)
+
+T0_SOURCE = """
+func outer_hi() int(j) pre(i >= j, j >= 0) begin
+  if i > j then
+    tick(2);
+    call inner_hi
+  else
+    call outer_lo
+  fi
+end
+
+func inner_hi() int(j) pre(i >= j + 1, j >= 0) begin
+  if prob(0.5) then
+    call outer_hi
+  else
+    tick(11);
+    i := i - 1;
+    if i > j then
+      call inner_hi
+    else
+      if i > 0 then call inner_lo fi
+    fi
+  fi
+end
+
+func outer_lo() int(j) pre(j >= i, i >= 0) begin
+  if i > 0 then
+    tick(2);
+    call inner_lo
+  fi
+end
+
+func inner_lo() int(j) pre(i >= 1, j >= i) begin
+  if prob(0.5) then
+    call outer_lo
+  else
+    tick(6);
+    i := i - 1;
+    if i > 0 then call inner_lo fi
+  fi
+end
+
+func main() int(j) pre(i >= j, j >= 0) begin
+  call outer_hi
+end
+"""
+register(
+    BenchProgram(
+        name="timing-t0",
+        source=T0_SOURCE,
+        description="compare() when the probed bit mismatches at index j",
+        valuation={"i": 32.0, "j": 16.0},
+        extra_valuations=({"i": 32.0, "j": 0.0}, {"i": 8.0, "j": 8.0}, {"i": 3.0, "j": 1.0}),
+        sim_init={"i": 32.0, "j": 16.0},
+        moment_degree=2,
+        template_degree=1,
+        paper={"E": "[13N - 5j, 13N - 3j]", "V": "8N - 36j^2 + 52Nj + 24j"},
+    )
+)

@@ -1,0 +1,135 @@
+"""The interval semiring ``I`` of section 2.1 / 3.2.
+
+Closed real intervals ``[lo, hi]`` with (possibly infinite) ends, ordered by
+*reverse inclusion of information*: ``[a, b] <= [c, d]`` iff ``[c, d]``
+contains ``[a, b]`` — the paper writes the containment order as ``⊑`` with
+wider intervals being *larger* (they carry less information but are always
+sound as bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interval:
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-math.inf, math.inf)
+
+    # -- semiring structure ----------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Interval":
+        return Interval.point(0.0)
+
+    @staticmethod
+    def one() -> "Interval":
+        return Interval.point(1.0)
+
+    def __add__(self, other: "Interval | float | int") -> "Interval":
+        other = _coerce(other)
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other: "Interval | float | int") -> "Interval":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: "Interval | float | int") -> "Interval":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other: "Interval | float | int") -> "Interval":
+        other = _coerce(other)
+        products = [
+            _mul(self.lo, other.lo),
+            _mul(self.lo, other.hi),
+            _mul(self.hi, other.lo),
+            _mul(self.hi, other.hi),
+        ]
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def scale(self, scalar: float) -> "Interval":
+        """Product with a point scalar (exact, no dependency blowup)."""
+        if scalar >= 0:
+            return Interval(scalar * self.lo, scalar * self.hi)
+        return Interval(scalar * self.hi, scalar * self.lo)
+
+    def __pow__(self, k: int) -> "Interval":
+        if k < 0:
+            raise ValueError("negative interval powers are not defined")
+        if k == 0:
+            return Interval.one()
+        if k % 2 == 1:
+            return Interval(self.lo**k, self.hi**k)
+        # Even power: minimized at the point of smallest magnitude.
+        if self.lo >= 0:
+            return Interval(self.lo**k, self.hi**k)
+        if self.hi <= 0:
+            return Interval(self.hi**k, self.lo**k)
+        return Interval(0.0, max(self.lo**k, self.hi**k))
+
+    # -- order -----------------------------------------------------------------
+
+    def contains(self, other: "Interval | float | int") -> bool:
+        other = _coerce(other)
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def intersect_nonneg(self) -> "Interval":
+        """Meet with ``[0, inf)``; sound for nonnegative quantities."""
+        return Interval(max(self.lo, 0.0), max(self.hi, 0.0))
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def __repr__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+def _mul(a: float, b: float) -> float:
+    """IEEE-safe product treating 0 * inf as 0 (measure-theoretic convention)."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+def _coerce(value: "Interval | float | int") -> Interval:
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, (int, float)):
+        return Interval.point(float(value))
+    raise TypeError(f"cannot coerce {value!r} to Interval")

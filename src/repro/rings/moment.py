@@ -1,0 +1,208 @@
+"""Moment semirings (Definition 3.1 of the paper).
+
+The m-th order moment semiring ``M_R^(m)`` over a partially ordered semiring
+``R`` has carrier ``|R|^(m+1)`` with
+
+* combination  ``u ⊕ v = <u_k + v_k>``                      (pointwise sum)
+* composition  ``u ⊗ v = <sum_{i<=k} C(k,i) u_i v_{k-i}>``  (binomial convolution)
+* ``0 = <0,...,0>`` and ``1 = <1,0,...,0>``
+
+Lemma 3.2 (the composition property) states
+``<(u+v)^k>_k = <u^k>_k ⊗ <v^k>_k`` — the algebraic fact that makes moments of
+sequentially composed costs computable from the moments of the parts.
+
+The functions here are generic in the element operations so the same code
+instantiates the semiring with floats (tests, simulation cross-checks),
+:class:`~repro.rings.interval.Interval` (interval bounds on moments), and the
+symbolic interval polynomials used by the analysis (which have their own
+wrapper in :mod:`repro.analysis.annotations`, reusing :func:`binomial`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.rings.interval import Interval
+
+T = TypeVar("T")
+
+
+def binomial(n: int, k: int) -> int:
+    return math.comb(n, k)
+
+
+@dataclass(frozen=True)
+class SemiringOps(Generic[T]):
+    """First-class dictionary of the underlying semiring operations."""
+
+    zero: Callable[[], T]
+    one: Callable[[], T]
+    add: Callable[[T, T], T]
+    mul: Callable[[T, T], T]
+    scale_nat: Callable[[int, T], T]
+    leq: Callable[[T, T], bool]
+
+
+def _float_scale(n: int, x: float) -> float:
+    return n * x
+
+
+FLOAT_OPS: SemiringOps[float] = SemiringOps(
+    zero=lambda: 0.0,
+    one=lambda: 1.0,
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+    scale_nat=_float_scale,
+    leq=lambda a, b: a <= b,
+)
+
+INTERVAL_OPS: SemiringOps[Interval] = SemiringOps(
+    zero=Interval.zero,
+    one=Interval.one,
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+    scale_nat=lambda n, x: x.scale(float(n)),
+    leq=lambda a, b: b.contains(a),
+)
+
+
+class MomentVector(Generic[T]):
+    """An element of ``M_R^(m)``: the vector ``<u_0, ..., u_m>``.
+
+    Index ``k`` holds (a bound on) the k-th moment of an accumulated cost;
+    index 0 is the termination-probability component.
+    """
+
+    __slots__ = ("elems", "ops")
+
+    def __init__(self, elems: Sequence[T], ops: SemiringOps[T]):
+        self.elems: tuple[T, ...] = tuple(elems)
+        self.ops = ops
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def zero(degree: int, ops: SemiringOps[T]) -> "MomentVector[T]":
+        return MomentVector([ops.zero() for _ in range(degree + 1)], ops)
+
+    @staticmethod
+    def one(degree: int, ops: SemiringOps[T]) -> "MomentVector[T]":
+        elems = [ops.one()] + [ops.zero() for _ in range(degree)]
+        return MomentVector(elems, ops)
+
+    @staticmethod
+    def powers(value: T, degree: int, ops: SemiringOps[T]) -> "MomentVector[T]":
+        """``<value^0, value^1, ..., value^m>`` — the moments of a constant.
+
+        This is the left operand of ⊗ in the potential inequality (2):
+        prefixing a computation with a deterministic cost ``value``.
+        """
+        elems: list[T] = [ops.one()]
+        for _ in range(degree):
+            elems.append(ops.mul(elems[-1], value))
+        return MomentVector(elems, ops)
+
+    # -- semiring operations ----------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return len(self.elems) - 1
+
+    def _check(self, other: "MomentVector[T]") -> None:
+        if len(self.elems) != len(other.elems):
+            raise ValueError("moment vectors of different orders")
+
+    def oplus(self, other: "MomentVector[T]") -> "MomentVector[T]":
+        self._check(other)
+        add = self.ops.add
+        return MomentVector(
+            [add(a, b) for a, b in zip(self.elems, other.elems)], self.ops
+        )
+
+    def otimes(self, other: "MomentVector[T]") -> "MomentVector[T]":
+        """Binomial convolution, eq. (7) of the paper."""
+        self._check(other)
+        ops = self.ops
+        result: list[T] = []
+        for k in range(len(self.elems)):
+            acc = ops.zero()
+            for i in range(k + 1):
+                term = ops.mul(self.elems[i], other.elems[k - i])
+                acc = ops.add(acc, ops.scale_nat(binomial(k, i), term))
+            result.append(acc)
+        return MomentVector(result, ops)
+
+    def leq(self, other: "MomentVector[T]") -> bool:
+        """Pointwise extension of the semiring order (``⊑``)."""
+        self._check(other)
+        return all(self.ops.leq(a, b) for a, b in zip(self.elems, other.elems))
+
+    # -- misc -------------------------------------------------------------------
+
+    def __getitem__(self, k: int) -> T:
+        return self.elems[k]
+
+    def __iter__(self):
+        return iter(self.elems)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MomentVector):
+            return NotImplemented
+        return self.elems == other.elems
+
+    def __hash__(self) -> int:
+        return hash(self.elems)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(e) for e in self.elems)
+        return f"<{inner}>"
+
+
+def float_moments(value: float, degree: int) -> MomentVector[float]:
+    return MomentVector.powers(value, degree, FLOAT_OPS)
+
+
+def interval_moments(value: Interval, degree: int) -> MomentVector[Interval]:
+    return MomentVector.powers(value, degree, INTERVAL_OPS)
+
+
+def raw_to_central(raw: Sequence[Interval], k: int) -> Interval:
+    """Interval bound on the k-th central moment from raw-moment intervals.
+
+    Uses ``E[(X-mu)^k] = sum_j C(k,j) (-1)^{k-j} E[X^j] mu^{k-j}`` with
+    interval arithmetic (sound but subject to the dependency problem), plus
+    the sharpening that even central moments are nonnegative.
+
+    ``raw[j]`` must bound ``E[X^j]`` for ``0 <= j <= k``; ``raw[0]`` is
+    ignored (termination probability assumed 1 — the analysis establishes
+    this via the side conditions of Theorem 4.4).
+    """
+    if k < 2:
+        raise ValueError("central moments are defined here for k >= 2")
+    if len(raw) <= k:
+        raise ValueError(f"need raw moments up to degree {k}")
+    mu = raw[1]
+    acc = Interval.zero()
+    for j in range(k + 1):
+        coeff = binomial(k, j) * (-1) ** (k - j)
+        term = (raw[j] if j > 0 else Interval.one()) * (mu ** (k - j))
+        acc = acc + term.scale(float(coeff))
+    if k % 2 == 0:
+        acc = acc.intersect_nonneg()
+    return acc
+
+
+def variance_interval(raw: Sequence[Interval]) -> Interval:
+    """Sharper variance bound than the generic expansion.
+
+    ``V[X] = E[X^2] - E[X]^2``: upper end uses the *smallest magnitude* of
+    the first-moment interval (its square is a valid lower bound on
+    ``E[X]^2``), exactly the computation of Example 2.4 in the paper.
+    """
+    e2, e1 = raw[2], raw[1]
+    upper = e2.hi - (e1**2).lo
+    lower = max(e2.lo - (e1**2).hi, 0.0)
+    lower = min(lower, upper)
+    return Interval(lower, upper)

@@ -1,0 +1,154 @@
+"""The bounded-update check (section 4.3 of the paper).
+
+Theorem 4.4(ii) needs ``||Y_n||_inf <= C (n+1)^{md}`` almost surely, which
+holds when every assignment changes its variable by at most a constant
+(Lemma F.3): then ``|x| = O(n)`` along every trace and the polynomial
+potentials grow polynomially in ``n``.
+
+The syntactic criterion implemented here accepts an assignment when its
+right-hand side is
+
+* a *bounded expression* (constants and variables whose value always lies
+  in a fixed bounded range) — a bounded reset; or
+* linear, with the absolute coefficients of the *unbounded* variables
+  summing to at most 1 (e.g. ``x := x + t``, ``j := i``, ``x := x - 2``).
+
+Then every step changes the maximal variable magnitude by at most an
+additive constant, so ``|x| = O(n)`` along every trace — the premise of
+Lemma F.3.  ``x := 2 * x`` or ``z := x + y`` (both unbounded) can compound
+and fail the check.  Samples from bounded-support distributions are bounded
+resets; variables are classified "bounded-valued" by a greatest fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IfBranch,
+    NondetBranch,
+    ProbBranch,
+    Program,
+    Sample,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    Var,
+    While,
+)
+
+
+@dataclass
+class BoundedUpdateReport:
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+
+def _collect_writes(stmt: Stmt, out: list[Stmt]) -> None:
+    if isinstance(stmt, (Assign, Sample)):
+        out.append(stmt)
+    elif isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _collect_writes(s, out)
+    elif isinstance(stmt, ProbBranch):
+        _collect_writes(stmt.then_branch, out)
+        _collect_writes(stmt.else_branch, out)
+    elif isinstance(stmt, NondetBranch):
+        _collect_writes(stmt.left, out)
+        _collect_writes(stmt.right, out)
+    elif isinstance(stmt, IfBranch):
+        _collect_writes(stmt.then_branch, out)
+        _collect_writes(stmt.else_branch, out)
+    elif isinstance(stmt, While):
+        _collect_writes(stmt.body, out)
+    elif isinstance(stmt, (Skip, Tick, Call)):
+        pass
+    else:
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _is_bounded_expr(expr: Expr, bounded_vars: set[str]) -> bool:
+    if isinstance(expr, Const):
+        return True
+    if isinstance(expr, Var):
+        return expr.name in bounded_vars
+    if isinstance(expr, BinOp):
+        left = _is_bounded_expr(expr.left, bounded_vars)
+        right = _is_bounded_expr(expr.right, bounded_vars)
+        return left and right
+    return False
+
+
+def _unbounded_weight(expr: Expr, bounded_vars: set[str]) -> float | None:
+    """Sum of |coefficients| of unbounded variables in a linear RHS.
+
+    None when the expression is not linear with concrete coefficients
+    (nonlinear terms over unbounded variables cannot be additive-bounded).
+    """
+    from repro.logic.linear import LinExpr
+
+    poly = expr.to_polynomial()
+    lin = LinExpr.from_polynomial(poly)
+    if lin is None:
+        return None
+    return sum(
+        abs(c) for v, c in lin.coeffs if v not in bounded_vars
+    )
+
+
+def check_bounded_update(program: Program) -> BoundedUpdateReport:
+    writes: list[Stmt] = []
+    for fun in program.functions.values():
+        _collect_writes(fun.body, writes)
+
+    # Least fixpoint of the bounded-valued classification (start optimistic,
+    # remove variables whose writes are not bounded resets).
+    all_written = {
+        w.var for w in writes  # type: ignore[union-attr]
+    }
+    bounded_vars = set(all_written)
+    changed = True
+    while changed:
+        changed = False
+        for write in writes:
+            if isinstance(write, Sample):
+                lo, hi = write.dist.support()
+                if lo == float("-inf") or hi == float("inf"):
+                    if write.var in bounded_vars:
+                        bounded_vars.discard(write.var)
+                        changed = True
+                continue
+            assert isinstance(write, Assign)
+            if write.var not in bounded_vars:
+                continue
+            if not _is_bounded_expr(write.expr, bounded_vars - {write.var}):
+                bounded_vars.discard(write.var)
+                changed = True
+
+    violations: list[str] = []
+    for write in writes:
+        if isinstance(write, Sample):
+            lo, hi = write.dist.support()
+            if lo == float("-inf") or hi == float("inf"):
+                violations.append(
+                    f"{write.var} ~ {write.dist!r}: unbounded support"
+                )
+            continue
+        assert isinstance(write, Assign)
+        if _is_bounded_expr(write.expr, bounded_vars):
+            continue  # reset to a bounded value
+        weight = _unbounded_weight(write.expr, bounded_vars)
+        if weight is not None and weight <= 1.0 + 1e-9:
+            continue  # additive-bounded linear update
+        violations.append(
+            f"{write.var} := ... : neither a bounded reset nor an "
+            f"additive-bounded linear update (unbounded weight {weight})"
+        )
+
+    return BoundedUpdateReport(ok=not violations, violations=violations)

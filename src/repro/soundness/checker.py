@@ -1,0 +1,55 @@
+"""Combined soundness side conditions of Theorem 4.4.
+
+The expected-potential method is *not* unconditionally sound for moment
+bounds on probabilistic programs (Counterexample 2.7: the ``geo`` loop
+admits the bogus lower bound ``2^x``).  Theorem 4.4 restores soundness
+under two checkable conditions, both automated here:
+
+(i)  ``E[T^{md}] < inf`` — certified by the unit-cost upper-bound analysis
+     (:mod:`repro.soundness.termination`, Appendix G);
+(ii) bounded updates — the syntactic check of
+     :mod:`repro.soundness.bounded_update` (section 4.3).
+
+A failed report means inferred bounds — *lower* bounds especially — must
+not be trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Program
+from repro.soundness.bounded_update import BoundedUpdateReport, check_bounded_update
+from repro.soundness.termination import TerminationReport, check_termination_moment
+
+
+@dataclass
+class SoundnessReport:
+    bounded_update: BoundedUpdateReport
+    termination: TerminationReport
+
+    @property
+    def ok(self) -> bool:
+        return self.bounded_update.ok and self.termination.ok
+
+    def summary(self) -> str:
+        lines = [f"soundness (Thm 4.4): {'OK' if self.ok else 'NOT ESTABLISHED'}"]
+        status = "OK" if self.bounded_update.ok else "FAILED"
+        lines.append(f"  bounded updates: {status}")
+        for violation in self.bounded_update.violations:
+            lines.append(f"    - {violation}")
+        status = "OK" if self.termination.ok else "FAILED"
+        lines.append(f"  termination moments: {status} — {self.termination.detail}")
+        return "\n".join(lines)
+
+
+def check_soundness(program: Program, stopping_moment_degree: int) -> SoundnessReport:
+    """Check both Theorem 4.4 side conditions for ``program``.
+
+    ``stopping_moment_degree`` is ``m * d`` of the main analysis: the degree
+    of the stopping-time moment whose finiteness condition (i) needs.
+    """
+    return SoundnessReport(
+        bounded_update=check_bounded_update(program),
+        termination=check_termination_moment(program, stopping_moment_degree),
+    )

@@ -1,0 +1,92 @@
+"""Timing-attack success-rate analysis (Appendix I).
+
+The attack of Fig. 16(c) estimates the running time of ``compare`` with K
+trials per bit and decides each secret bit by thresholding the estimate at
+``13N - 1.5i``.  The per-bit failure probability is a tail probability of
+the K-trial *mean*, whose variance is ``V/K``; Cantelli's inequality turns
+the inferred interval bounds on E and V of the two timing scenarios into
+failure bounds, and independence across bits gives the success rate:
+
+    F1_i = (V1/K) / (V1/K + (E1_lo - thr_i)^2)     if E1_lo > thr_i
+    F0_i = (V0/K) / (V0/K + (thr_i - E0_hi)^2)     if E0_hi < thr_i
+    P[success] >= prod_i (1 - max(F1_i, F0_i))
+
+With the paper's bounds (13)/(14), N = 32 and K = 10^4 this reproduces
+``P >= 0.219413`` for all 32 bits and ``P >= 0.830561`` for all but the
+last six bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Moment bounds for one scenario as functions of (N, i):
+#: mean_lo, mean_hi, var_hi.
+ScenarioBounds = Callable[[float, float], tuple[float, float, float]]
+
+
+def paper_t1_bounds(n: float, i: float) -> tuple[float, float, float]:
+    """Eq. (13): E[T1] in [13N, 15N], V[T1] <= 26N^2 + 42N."""
+    return (13 * n, 15 * n, 26 * n * n + 42 * n)
+
+
+def paper_t0_bounds(n: float, i: float) -> tuple[float, float, float]:
+    """Eq. (14): E[T0] in [13N-5i, 13N-3i], V[T0] <= 8N - 36i^2 + 52Ni + 24i."""
+    return (
+        13 * n - 5 * i,
+        13 * n - 3 * i,
+        8 * n - 36 * i * i + 52 * n * i + 24 * i,
+    )
+
+
+def _cantelli_mean_tail(variance: float, gap: float, trials: int) -> float:
+    """Bound on P[mean estimate falls ``gap`` past its true mean]."""
+    if gap <= 0:
+        return 1.0
+    v = max(variance, 0.0) / trials
+    return v / (v + gap * gap)
+
+
+@dataclass
+class AttackAnalysis:
+    bits: int
+    trials: int
+    per_bit_failure: list[float]
+
+    def success_rate(self, skip_low_bits: int = 0) -> float:
+        """Lower bound on P[all bits above ``skip_low_bits`` guessed right].
+
+        ``skip_low_bits`` is the number of low-order bits left to brute
+        force (the paper uses 6: low bits have too small a timing gap).
+        """
+        rate = 1.0
+        for i in range(skip_low_bits + 1, self.bits + 1):
+            rate *= 1.0 - self.per_bit_failure[i - 1]
+        return rate
+
+    def brute_force_calls(self, skip_low_bits: int = 0) -> int:
+        """Total compare() calls: K per probed bit plus the brute force."""
+        probed = self.bits - skip_low_bits
+        return self.trials * probed + 2**skip_low_bits
+
+
+def analyze_attack(
+    bits: int = 32,
+    trials: int = 10_000,
+    t1_bounds: ScenarioBounds = paper_t1_bounds,
+    t0_bounds: ScenarioBounds = paper_t0_bounds,
+) -> AttackAnalysis:
+    """Per-bit failure bounds for the threshold attack on an N-bit secret."""
+    failures: list[float] = []
+    n = float(bits)
+    for i in range(1, bits + 1):
+        threshold = 13 * n - 1.5 * i
+        e1_lo, _, v1_hi = t1_bounds(n, float(i))
+        e0_lo, e0_hi, v0_hi = t0_bounds(n, float(i))
+        # Truth is T1 (bit is 1) but the estimate dips below the threshold:
+        f1 = _cantelli_mean_tail(v1_hi, e1_lo - threshold, trials)
+        # Truth is T0 (bit is 0) but the estimate rises above the threshold:
+        f0 = _cantelli_mean_tail(v0_hi, threshold - e0_hi, trials)
+        failures.append(min(1.0, max(f1, f0)))
+    return AttackAnalysis(bits=bits, trials=trials, per_bit_failure=failures)

@@ -1,0 +1,133 @@
+"""Tail bounds from moment bounds (section 5 of the paper).
+
+Three concentration-of-measure inequalities, each consuming a different
+slice of the inferred moment information:
+
+* **Markov** (Prop. 5.1) — an upper bound on a raw moment,
+* **Cantelli** (Prop. 5.2) — an upper bound on the variance plus an interval
+  for the mean,
+* **Chebyshev** (Prop. 5.3) — an upper bound on an even central moment plus
+  an interval for the mean.
+
+All results are probabilities clipped to ``[0, 1]``; the helpers take the
+*pessimistic* end of the mean interval so the bounds stay sound when only
+interval information is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rings.interval import Interval
+
+
+def markov_tail(raw_upper: float, k: int, threshold: float) -> float:
+    """``P[X >= t] <= E[X^k] / t^k`` for nonnegative ``X`` and ``t > 0``."""
+    if threshold <= 0:
+        return 1.0
+    if raw_upper < 0:
+        raise ValueError("raw moment bound of a nonnegative variable is negative")
+    return min(1.0, raw_upper / threshold**k)
+
+
+def cantelli_upper_tail(
+    variance_upper: float, mean_upper: float, threshold: float
+) -> float:
+    """``P[X >= t] <= V / (V + (t - mean)^2)`` for ``t > mean``.
+
+    Uses the upper end of the mean interval: for every admissible mean
+    ``mu <= mean_upper`` the deviation ``t - mu`` is at least
+    ``t - mean_upper``, so the bound is sound.
+    """
+    gap = threshold - mean_upper
+    if gap <= 0:
+        return 1.0
+    if variance_upper < 0:
+        raise ValueError("negative variance bound")
+    return min(1.0, variance_upper / (variance_upper + gap * gap))
+
+
+def cantelli_lower_tail(
+    variance_upper: float, mean_lower: float, threshold: float
+) -> float:
+    """``P[X <= t] <= V / (V + (mean - t)^2)`` for ``t < mean``."""
+    gap = mean_lower - threshold
+    if gap <= 0:
+        return 1.0
+    return min(1.0, variance_upper / (variance_upper + gap * gap))
+
+
+def chebyshev_tail(
+    central_upper: float, k: int, mean_upper: float, threshold: float
+) -> float:
+    """``P[X >= t] <= E[(X-mu)^{2k}] / (t - mean)^{2k}`` for ``t > mean``.
+
+    ``central_upper`` bounds the ``2k``-th central moment.
+    """
+    gap = threshold - mean_upper
+    if gap <= 0:
+        return 1.0
+    if central_upper < 0:
+        raise ValueError("negative central moment bound")
+    return min(1.0, central_upper / gap ** (2 * k))
+
+
+def chebyshev_two_sided(
+    central_upper: float, k: int, deviation: float
+) -> float:
+    """``P[|X - mu| >= a] <= E[(X-mu)^{2k}] / a^{2k}``."""
+    if deviation <= 0:
+        return 1.0
+    return min(1.0, central_upper / deviation ** (2 * k))
+
+
+@dataclass
+class TailBounds:
+    """All tail bounds available from a set of moment intervals."""
+
+    threshold: float
+    markov: dict[int, float]
+    cantelli: float | None
+    chebyshev: dict[int, float]
+
+    def best(self) -> float:
+        candidates = list(self.markov.values()) + list(self.chebyshev.values())
+        if self.cantelli is not None:
+            candidates.append(self.cantelli)
+        return min(candidates) if candidates else 1.0
+
+
+def best_upper_tail(
+    raw: list[Interval],
+    central: dict[int, Interval] | None,
+    threshold: float,
+) -> TailBounds:
+    """Best available bound on ``P[X >= threshold]``.
+
+    ``raw[k]`` brackets ``E[X^k]`` (``raw[0]`` ignored), ``central[2k]``
+    brackets the ``2k``-th central moment.
+    """
+    markov = {
+        k: markov_tail(raw[k].hi, k, threshold) for k in range(1, len(raw))
+    }
+    mean_upper = raw[1].hi if len(raw) > 1 else float("inf")
+    cantelli = None
+    chebyshev: dict[int, float] = {}
+    if central:
+        if 2 in central:
+            cantelli = cantelli_upper_tail(central[2].hi, mean_upper, threshold)
+        for order, interval in central.items():
+            if order >= 4 and order % 2 == 0:
+                chebyshev[order] = chebyshev_tail(
+                    interval.hi, order // 2, mean_upper, threshold
+                )
+    return TailBounds(threshold, markov, cantelli, chebyshev)
+
+
+def tail_curve(
+    thresholds,
+    raw: list[Interval],
+    central: dict[int, Interval] | None = None,
+):
+    """``[(d, TailBounds)]`` over a grid — the data behind Figs. 1(c)/9/15."""
+    return [(float(d), best_upper_tail(raw, central, float(d))) for d in thresholds]

@@ -1,0 +1,182 @@
+"""Tests for the forward context analysis (abstract interpretation)."""
+
+from repro.lang.ast import Call, IfBranch, Sample, Seq, While
+from repro.lang.parser import parse_condition, parse_program
+from repro.lang.varinfo import analyze_program as static_info
+from repro.logic.absint import compute_contexts
+from repro.logic.linear import cond_to_ineqs
+
+
+def contexts_for(source):
+    program = parse_program(source)
+    info = static_info(program)
+    return program, compute_contexts(program, info)
+
+
+def find_nodes(stmt, kind):
+    found = []
+
+    def walk(node):
+        if isinstance(node, kind):
+            found.append(node)
+        if isinstance(node, Seq):
+            for s in node.stmts:
+                walk(s)
+        elif isinstance(node, IfBranch):
+            walk(node.then_branch)
+            walk(node.else_branch)
+        elif isinstance(node, While):
+            walk(node.body)
+
+    walk(stmt)
+    return found
+
+
+def entails(ctx, text):
+    return ctx.entails_all(cond_to_ineqs(parse_condition(text)))
+
+
+class TestLoopInvariants:
+    def test_decreasing_counter(self):
+        program, cmap = contexts_for(
+            """
+            func main() pre(x >= 0) begin
+              while x > 0 inv(x >= 0) do
+                x := x - 1;
+                tick(1)
+              od;
+              skip
+            end
+            """
+        )
+        (loop,) = find_nodes(program.main_fun.body, While)
+        head = cmap.head_of(loop)
+        assert entails(head, "x >= 0")
+        # Exit: integer x with not(x > 0) pins x = 0.
+        exit_ctx = cmap.post_of(loop)
+        assert entails(exit_ctx, "x <= 0")
+        assert entails(exit_ctx, "x >= 0")
+
+    def test_unpreserved_candidate_dropped(self):
+        program, cmap = contexts_for(
+            """
+            func main() pre(x <= 5) begin
+              while x < 100 do
+                x := x + 2;
+                tick(1)
+              od
+            end
+            """
+        )
+        (loop,) = find_nodes(program.main_fun.body, While)
+        head = cmap.head_of(loop)
+        assert not entails(head, "x <= 5")
+
+    def test_sampling_support_in_body(self):
+        program, cmap = contexts_for(
+            """
+            func main() pre(x < d) begin
+              t ~ uniform(-1, 2);
+              x := x + t
+            end
+            """
+        )
+        (sample,) = find_nodes(program.main_fun.body, Sample)
+        after = cmap.post_of(sample)
+        assert entails(after, "t <= 2")
+        assert entails(after, "t >= -1")
+
+    def test_rdwalk_recursive_call_precondition(self):
+        """The Fig. 7 chain: x<d, t in [-1,2], x:=x+t entails x < d + 2."""
+        from repro.programs import registry
+
+        program = registry.get("rdwalk").parse()
+        info = static_info(program)
+        cmap = compute_contexts(program, info)
+        (call,) = find_nodes(program.fun("rdwalk").body, Call)
+        pre_ctx = cmap.pre_of(call)
+        assert entails(pre_ctx, "x <= d + 2")
+        assert not cmap.warnings
+
+
+class TestCalls:
+    def test_havoc_after_call(self):
+        program, cmap = contexts_for(
+            """
+            func clobber() begin
+              x := 100
+            end
+            func main() pre(x <= 1, y <= 1) begin
+              call clobber;
+              tick(1)
+            end
+            """
+        )
+        (call,) = find_nodes(program.main_fun.body, Call)
+        after = cmap.post_of(call)
+        assert not entails(after, "x <= 1")
+        assert entails(after, "y <= 1")
+
+    def test_exit_context_flows_to_caller(self):
+        program, cmap = contexts_for(
+            """
+            func setx() begin
+              x := 3
+            end
+            func main() begin
+              call setx;
+              tick(1)
+            end
+            """
+        )
+        (call,) = find_nodes(program.main_fun.body, Call)
+        after = cmap.post_of(call)
+        assert entails(after, "x == 3")
+
+    def test_unmet_precondition_reported(self):
+        _, cmap = contexts_for(
+            """
+            func f() pre(x >= 10) begin
+              tick(1)
+            end
+            func main() pre(x <= 0) begin
+              call f
+            end
+            """
+        )
+        assert any("pre-condition" in w for w in cmap.warnings)
+
+
+class TestBranching:
+    def test_join_of_branches(self):
+        program, cmap = contexts_for(
+            """
+            func main() pre(x >= 0, x <= 10) begin
+              if x <= 5 then
+                y := 1
+              else
+                y := 2
+              fi;
+              tick(1)
+            end
+            """
+        )
+        (branch,) = find_nodes(program.main_fun.body, IfBranch)
+        after = cmap.post_of(branch)
+        assert entails(after, "x <= 10")
+        assert not entails(after, "y == 1")
+
+    def test_unreachable_branch_is_bottom(self):
+        program, cmap = contexts_for(
+            """
+            func main() pre(x >= 10) begin
+              if x < 0 then
+                y := 1
+              fi;
+              tick(1)
+            end
+            """
+        )
+        (branch,) = find_nodes(program.main_fun.body, IfBranch)
+        then_ctx = cmap.pre_of(branch.then_branch)
+        assert not then_ctx.is_feasible()

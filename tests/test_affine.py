@@ -1,0 +1,101 @@
+"""Unit tests for LP affine forms."""
+
+import pytest
+
+from repro.lp.affine import AffForm, VarPool
+
+
+@pytest.fixture()
+def pool():
+    return VarPool()
+
+
+class TestVarPool:
+    def test_fresh_assigns_dense_indices(self, pool):
+        a = pool.fresh("a")
+        b = pool.fresh("b")
+        assert (a.index, b.index) == (0, 1)
+        assert len(pool) == 2
+
+    def test_names_are_unique(self, pool):
+        a = pool.fresh("x")
+        b = pool.fresh("x")
+        assert a.name != b.name
+
+    def test_variables_listing(self, pool):
+        created = [pool.fresh(f"v{i}") for i in range(5)]
+        assert pool.variables == created
+
+
+class TestAffForm:
+    def test_constant(self):
+        form = AffForm.constant(3.5)
+        assert form.is_constant()
+        assert form.const == 3.5
+
+    def test_of_var(self, pool):
+        v = pool.fresh("v")
+        form = AffForm.of_var(v, 2.0)
+        assert form.terms == {v.index: 2.0}
+        assert not form.is_constant()
+
+    def test_of_var_zero_coefficient_is_constant(self, pool):
+        form = AffForm.of_var(pool.fresh("v"), 0.0)
+        assert form.is_zero()
+
+    def test_addition_merges_terms(self, pool):
+        v = pool.fresh("v")
+        form = AffForm.of_var(v) + AffForm.of_var(v, 2.0) + 1.0
+        assert form.terms == {v.index: 3.0}
+        assert form.const == 1.0
+
+    def test_addition_cancels_to_zero(self, pool):
+        v = pool.fresh("v")
+        form = AffForm.of_var(v) - AffForm.of_var(v)
+        assert form.is_zero()
+
+    def test_scalar_multiplication(self, pool):
+        v = pool.fresh("v")
+        form = (AffForm.of_var(v) + 2.0) * 3.0
+        assert form.terms == {v.index: 3.0}
+        assert form.const == 6.0
+
+    def test_rmul(self, pool):
+        v = pool.fresh("v")
+        assert 2 * AffForm.of_var(v) == AffForm.of_var(v, 2.0)
+
+    def test_multiplying_by_zero(self, pool):
+        form = (AffForm.of_var(pool.fresh("v")) + 5.0) * 0.0
+        assert form.is_zero()
+
+    def test_nonlinear_product_rejected(self, pool):
+        a = AffForm.of_var(pool.fresh("a"))
+        b = AffForm.of_var(pool.fresh("b"))
+        with pytest.raises(TypeError, match="non-linear"):
+            a * b
+
+    def test_product_with_constant_affform(self, pool):
+        a = AffForm.of_var(pool.fresh("a"))
+        assert a * AffForm.constant(2.0) == a * 2.0
+        assert AffForm.constant(2.0) * a == a * 2.0
+
+    def test_subtraction_and_negation(self, pool):
+        v = pool.fresh("v")
+        form = 1.0 - AffForm.of_var(v)
+        assert form.const == 1.0
+        assert form.terms == {v.index: -1.0}
+        assert -form == AffForm.of_var(v) - 1.0
+
+    def test_evaluate(self, pool):
+        a, b = pool.fresh("a"), pool.fresh("b")
+        form = AffForm.of_var(a, 2.0) + AffForm.of_var(b, -1.0) + 4.0
+        assert form.evaluate([10.0, 3.0]) == 21.0
+
+    def test_equality_with_scalar(self):
+        assert AffForm.constant(2.0) == 2.0
+        assert AffForm.constant(2.0) != 3.0
+
+    def test_hashable(self, pool):
+        v = pool.fresh("v")
+        forms = {AffForm.of_var(v), AffForm.of_var(v), AffForm.constant(1.0)}
+        assert len(forms) == 2

@@ -1,0 +1,178 @@
+"""Tests for moment annotations — the symbolic side of the moment semiring.
+
+The key property: on concrete (point-interval, constant) annotations, the
+symbolic operations must agree exactly with the reference
+:class:`~repro.rings.moment.MomentVector` implementation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.annotations import (
+    MomentAnnotation,
+    PolyInterval,
+    component_degree,
+    fresh_annotation,
+)
+from repro.lang.ast import Uniform
+from repro.lp.problem import LPProblem
+from repro.poly.polynomial import Polynomial
+from repro.rings.moment import FLOAT_OPS, MomentVector, float_moments
+
+floats = st.integers(-5, 5).map(float)
+
+
+def point_annotation(values):
+    return MomentAnnotation.of_point_vector(list(values))
+
+
+def as_floats(ann):
+    return [iv.hi.constant_value() for iv in ann.intervals]
+
+
+class TestAgainstMomentVector:
+    @given(st.lists(floats, min_size=4, max_size=4), floats)
+    @settings(max_examples=80, deadline=None)
+    def test_prefix_cost_is_otimes_with_powers(self, values, cost):
+        ann = point_annotation(values)
+        reference = float_moments(cost, 3).otimes(MomentVector(values, FLOAT_OPS))
+        result = ann.prefix_cost(cost)
+        assert as_floats(result) == pytest.approx(list(reference.elems))
+
+    @given(
+        st.lists(floats, min_size=3, max_size=3),
+        st.lists(floats, min_size=3, max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_oplus_matches(self, xs, ys):
+        result = point_annotation(xs).oplus(point_annotation(ys))
+        reference = MomentVector(xs, FLOAT_OPS).oplus(MomentVector(ys, FLOAT_OPS))
+        assert as_floats(result) == pytest.approx(list(reference.elems))
+
+    def test_negative_cost_swaps_interval_ends(self):
+        ann = MomentAnnotation(
+            [
+                PolyInterval.of_constants(1.0, 1.0),
+                PolyInterval.of_constants(-2.0, 3.0),
+            ]
+        )
+        result = ann.prefix_cost(-1.0)
+        # first moment: [-1, -1] + [-2, 3] = [-3, 2]
+        assert result.intervals[1].lo.constant_value() == -3.0
+        assert result.intervals[1].hi.constant_value() == 2.0
+
+    def test_paper_nonmonotone_example(self):
+        """Section 3.3: <[1,1],[-1,-1],[1,1]> ⊗ <[1,1],[-2,2],[5,5]>."""
+        post = MomentAnnotation(
+            [
+                PolyInterval.of_constants(1.0, 1.0),
+                PolyInterval.of_constants(-2.0, 2.0),
+                PolyInterval.of_constants(5.0, 5.0),
+            ]
+        )
+        result = post.prefix_cost(-1.0)
+        assert result.intervals[1].lo.constant_value() == -3.0
+        assert result.intervals[1].hi.constant_value() == 1.0
+        assert result.intervals[2].lo.constant_value() == 2.0
+        assert result.intervals[2].hi.constant_value() == 10.0
+
+
+class TestTransfers:
+    def test_substitute(self):
+        x = Polynomial.var("x")
+        ann = MomentAnnotation(
+            [PolyInterval.of_constants(1.0, 1.0), PolyInterval.point(2.0 * x)]
+        )
+        result = ann.substitute("x", x + 1.0)
+        assert result.intervals[1].hi == 2.0 * x + 2.0
+
+    def test_expect_uniform(self):
+        """Ex. 2.2: E_{t~U(-1,2)}[2(d-x-t)+5] = 2(d-x)+4."""
+        d, x, t = (Polynomial.var(v) for v in "dxt")
+        ann = MomentAnnotation(
+            [
+                PolyInterval.of_constants(1.0, 1.0),
+                PolyInterval.point(2.0 * (d - x - t) + 5.0),
+            ]
+        )
+        result = ann.expect("t", Uniform(-1.0, 2.0))
+        assert result.intervals[1].hi == 2.0 * (d - x) + 4.0
+
+    def test_expect_second_moment(self):
+        """Ex. 2.3: E_t[4(d-x-t)^2 + 26(d-x-t) + 37] = 4(d-x)^2+22(d-x)+28."""
+        d, x, t = (Polynomial.var(v) for v in "dxt")
+        u = d - x - t
+        ann = MomentAnnotation(
+            [
+                PolyInterval.of_constants(1.0, 1.0),
+                PolyInterval.point(Polynomial.zero()),
+                PolyInterval.point(4.0 * u * u + 26.0 * u + 37.0),
+            ]
+        )
+        result = ann.expect("t", Uniform(-1.0, 2.0))
+        v = d - x
+        assert result.intervals[2].hi == 4.0 * v * v + 22.0 * v + 28.0
+
+    def test_scale(self):
+        ann = point_annotation([1.0, 4.0, 8.0])
+        result = ann.scale(0.25)
+        assert as_floats(result) == [0.25, 1.0, 2.0]
+        with pytest.raises(ValueError):
+            ann.scale(-0.5)
+
+    def test_rdwalk_tick_composition(self):
+        """Ex. 2.3: <1,1,1> ⊗ <1, 2(d-x)+4, 4(d-x)^2+22(d-x)+28>."""
+        d, x = Polynomial.var("d"), Polynomial.var("x")
+        u = d - x
+        hypothesis = MomentAnnotation(
+            [
+                PolyInterval.of_constants(1.0, 1.0),
+                PolyInterval.point(2.0 * u + 4.0),
+                PolyInterval.point(4.0 * u * u + 22.0 * u + 28.0),
+            ]
+        )
+        result = hypothesis.prefix_cost(1.0)
+        assert result.intervals[1].hi == 2.0 * u + 5.0
+        assert result.intervals[2].hi == 4.0 * u * u + 26.0 * u + 37.0
+
+
+class TestTemplates:
+    def test_component_degree(self):
+        assert component_degree(2, 1, None) == 2
+        assert component_degree(3, 2, None) == 6
+        assert component_degree(3, 2, 4) == 4
+        assert component_degree(0, 1, None) == 1  # floor of 1
+
+    def test_fresh_unrestricted(self):
+        lp = LPProblem()
+        ann = fresh_annotation(lp, 2, 1, ("x",), label="t")
+        assert ann.intervals[0].hi.constant_value() == 1.0
+        assert ann.intervals[1].hi.degree() == 1
+        assert ann.intervals[2].hi.degree() == 2
+        # 2 ends * (2 + 3) monomials
+        assert lp.num_variables == 2 * (2 + 3)
+
+    def test_fresh_restricted(self):
+        lp = LPProblem()
+        ann = fresh_annotation(lp, 2, 1, ("x",), label="t", restrict=1)
+        assert ann.intervals[0].is_zero()
+        assert not ann.intervals[1].is_zero()
+
+    def test_fresh_upper_only(self):
+        lp = LPProblem()
+        ann = fresh_annotation(lp, 1, 1, ("x",), label="t", upper_only=True)
+        assert ann.intervals[1].lo.is_zero()
+        assert not ann.intervals[1].hi.is_zero()
+
+    def test_one_is_otimes_identity(self):
+        ann = point_annotation([1.0, 3.0, 11.0])
+        result = MomentAnnotation.one(2).oplus(MomentAnnotation.zero(2))
+        assert as_floats(result) == [1.0, 0.0, 0.0]
+        assert as_floats(ann.prefix_cost(0.0)) == pytest.approx([1.0, 3.0, 11.0])
+
+    def test_evaluate_requires_concrete(self):
+        lp = LPProblem()
+        ann = fresh_annotation(lp, 1, 1, ("x",), label="t")
+        with pytest.raises(TypeError):
+            ann.evaluate({"x": 1.0})

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import _parse_valuation, build_parser, run
+
+RDWALK = """
+func rdwalk() pre(x < d + 2) begin
+  if x < d then
+    t ~ uniform(-1, 2);
+    x := x + t;
+    call rdwalk;
+    tick(1)
+  fi
+end
+
+func main() pre(d > 0) begin
+  x := 0;
+  call rdwalk
+end
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "rdwalk.appl"
+    path.write_text(RDWALK)
+    return str(path)
+
+
+class TestCli:
+    def test_analyze_prints_bounds(self, source_file):
+        out = io.StringIO()
+        code = run(["analyze", source_file, "--at", "d=10,x=0,t=0"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "E[C^1]" in text
+        assert "2*d + 4" in text
+
+    def test_soundness_flag(self, source_file):
+        out = io.StringIO()
+        run(["analyze", source_file, "--check", "--at", "d=10,x=0,t=0"], out=out)
+        assert "soundness (Thm 4.4): OK" in out.getvalue()
+
+    def test_simulation_flag(self, source_file):
+        out = io.StringIO()
+        run(
+            ["analyze", source_file, "--moments", "1", "--simulate", "500",
+             "--at", "d=5,x=0,t=0"],
+            out=out,
+        )
+        assert "simulation (500 runs)" in out.getvalue()
+
+    def test_valuation_parsing(self):
+        assert _parse_valuation("a=1,b=-2.5") == {"a": 1.0, "b": -2.5}
+        assert _parse_valuation("") == {}
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_valuation("oops")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,230 @@
+"""Paper-value regression tests for the analysis engine.
+
+These check the *exact* numbers the paper reports for its own examples:
+Fig. 1(b) / Fig. 7 for rdwalk, Counterexample 2.7's geo, and the identified
+rows of Table 1 (kura-1-1, kura-2-1).
+"""
+
+import pytest
+
+from repro import AnalysisOptions, analyze, analyze_upper_raw, parse_program
+from repro.programs import registry
+
+
+@pytest.fixture(scope="module")
+def rdwalk_result():
+    bench = registry.get("rdwalk")
+    return analyze(
+        bench.parse(),
+        AnalysisOptions(
+            moment_degree=2,
+            template_degree=1,
+            objective_valuations=({"d": 10.0, "x": 0.0, "t": 0.0},),
+        ),
+    )
+
+
+class TestRdwalk:
+    """Fig. 1(b): E[tick] <= 2d+4, E[tick^2] <= 4d^2+22d+28, V <= 22d+28."""
+
+    def test_first_moment_upper(self, rdwalk_result):
+        poly = rdwalk_result.upper_poly(1)
+        for d in (5.0, 10.0, 40.0):
+            val = poly.evaluate({"d": d, "x": 0.0, "t": 0.0})
+            assert val == pytest.approx(2 * d + 4, abs=1e-4)
+
+    def test_first_moment_lower(self, rdwalk_result):
+        """Fig. 7 lower end: 2(d - x) (up to the lexicographic-stage
+        tolerance of ~1e-5 relative)."""
+        poly = rdwalk_result.lower_poly(1)
+        for d in (5.0, 10.0, 40.0):
+            val = poly.evaluate({"d": d, "x": 0.0, "t": 0.0})
+            assert val == pytest.approx(2 * d, abs=2e-2)
+
+    def test_second_moment_upper(self, rdwalk_result):
+        poly = rdwalk_result.upper_poly(2)
+        for d in (5.0, 10.0, 40.0):
+            val = poly.evaluate({"d": d, "x": 0.0, "t": 0.0})
+            assert val == pytest.approx(4 * d * d + 22 * d + 28, abs=1e-3)
+
+    def test_variance_example_2_4(self, rdwalk_result):
+        """Ex. 2.4: V[tick] <= 22d + 28."""
+        for d in (10.0, 50.0):
+            var = rdwalk_result.variance({"d": d, "x": 0.0, "t": 0.0})
+            assert var.hi == pytest.approx(22 * d + 28, rel=1e-3)
+            assert var.lo >= 0.0
+
+    def test_moments_bracket_simulation(self, rdwalk_result):
+        from repro import estimate_cost_statistics
+
+        bench = registry.get("rdwalk")
+        stats = estimate_cost_statistics(
+            bench.parse(), n=4000, seed=11, initial={"d": 10.0}
+        )
+        val = {"d": 10.0, "x": 0.0, "t": 0.0}
+        e1 = rdwalk_result.raw_interval(1, val)
+        e2 = rdwalk_result.raw_interval(2, val)
+        assert e1.lo - 0.5 <= stats.mean <= e1.hi + 0.5
+        assert e2.lo * 0.9 <= stats.raw[2] <= e2.hi * 1.1
+        assert stats.central[2] <= rdwalk_result.variance(val).hi * 1.1
+
+
+class TestGeo:
+    """Counterexample 2.7: sound bounds are E[tick] = 1; the bogus lower
+    bound 2^x must not appear (and cannot: templates are polynomial), and
+    the Theorem 4.4 side conditions hold for this program."""
+
+    def test_expected_cost_is_one(self):
+        bench = registry.get("geo")
+        result = analyze(bench.parse(), AnalysisOptions(moment_degree=2))
+        interval = result.raw_interval(1, {"x": 0.0})
+        assert interval.hi == pytest.approx(1.0, abs=1e-4)
+        assert 0.0 - 1e-9 <= interval.lo <= 1.0 + 1e-6
+
+    def test_soundness_conditions_hold(self):
+        from repro import check_soundness
+
+        bench = registry.get("geo")
+        report = check_soundness(bench.parse(), 2)
+        assert report.bounded_update.ok
+        assert report.termination.ok
+        assert report.ok
+
+
+class TestKuraIdentifiedRows:
+    """Table 1 rows whose cost models the published bounds pin down."""
+
+    def test_coupon_two(self):
+        bench = registry.get("kura-1-1")
+        result = analyze(
+            bench.parse(),
+            AnalysisOptions(
+                moment_degree=4,
+                template_degree=2,
+                degree_cap=2,
+                objective_valuations=({"c": 0.0},),
+            ),
+        )
+        val = {"c": 0.0}
+        assert result.raw_interval(1, val).hi == pytest.approx(13.0, rel=1e-6)
+        assert result.raw_interval(2, val).hi == pytest.approx(201.0, rel=1e-6)
+        assert result.raw_interval(3, val).hi == pytest.approx(3829.0, rel=1e-6)
+        assert result.raw_interval(4, val).hi == pytest.approx(90705.0, rel=1e-6)
+        assert result.variance(val).hi == pytest.approx(32.0, rel=1e-4)
+        assert result.central_interval(4, val).hi == pytest.approx(9728.0, rel=1e-4)
+
+    def test_walk_int(self):
+        bench = registry.get("kura-2-1")
+        result = analyze(
+            bench.parse(),
+            AnalysisOptions(
+                moment_degree=4,
+                template_degree=1,
+                objective_valuations=({"x": 1.0, "t": 0.0},),
+            ),
+        )
+        val = {"x": 1.0, "t": 0.0}
+        assert result.raw_interval(1, val).hi == pytest.approx(20.0, rel=1e-6)
+        assert result.raw_interval(2, val).hi == pytest.approx(2320.0, rel=1e-6)
+        assert result.raw_interval(3, val).hi == pytest.approx(691520.0, rel=1e-5)
+        assert result.raw_interval(4, val).hi == pytest.approx(340107520.0, rel=1e-5)
+        assert result.variance(val).hi == pytest.approx(1920.0, rel=1e-4)
+        assert result.central_interval(4, val).hi == pytest.approx(
+            289873920.0, rel=1e-4
+        )
+
+    def test_walk_int_symbolic_variance(self):
+        """Section 6: V <= 1920x under pre x >= 0."""
+        bench = registry.get("kura-2-1")
+        result = analyze(
+            bench.parse(),
+            AnalysisOptions(
+                moment_degree=2,
+                template_degree=1,
+                objective_valuations=({"x": 1.0, "t": 0.0}, {"x": 7.0, "t": 0.0}),
+            ),
+        )
+        for x in (1.0, 3.0, 7.0):
+            var = result.variance({"x": x, "t": 0.0})
+            assert var.hi == pytest.approx(1920.0 * x, rel=1e-3)
+
+
+class TestBaselineComparison:
+    """Fig. 1(c)'s methodology: central moments beat raw moments for tails."""
+
+    def test_raw_only_mode_matches_upper_bounds(self):
+        bench = registry.get("rdwalk")
+        options = AnalysisOptions(
+            moment_degree=2,
+            template_degree=1,
+            objective_valuations=({"d": 10.0, "x": 0.0, "t": 0.0},),
+        )
+        raw_only = analyze_upper_raw(bench.parse(), options)
+        val = {"d": 10.0, "x": 0.0, "t": 0.0}
+        # Upper-only mode additionally requires nonnegative potentials
+        # (ranking-supermartingale setting), costing one unit of slack
+        # against the full interval analysis: 2d+5 instead of 2d+4.
+        assert raw_only.raw_interval(1, val).hi == pytest.approx(25.0, abs=1e-3)
+        assert raw_only.raw_interval(1, val).lo == 0.0  # no lower information
+        assert raw_only.raw_interval(2, val).hi <= 730.0
+        # The full interval analysis is at least as tight.
+        full = analyze(bench.parse(), options)
+        assert full.raw_interval(1, val).hi <= raw_only.raw_interval(1, val).hi
+
+    def test_tail_bounds_ordering(self):
+        from repro.tail.bounds import (
+            cantelli_upper_tail,
+            markov_tail,
+        )
+
+        bench = registry.get("rdwalk")
+        result = analyze(
+            bench.parse(),
+            AnalysisOptions(
+                moment_degree=2,
+                template_degree=1,
+                objective_valuations=({"d": 40.0, "x": 0.0, "t": 0.0},),
+            ),
+        )
+        val = {"d": 40.0, "x": 0.0, "t": 0.0}
+        d = 40.0
+        raw1 = result.raw_interval(1, val)
+        var = result.variance(val)
+        markov1 = markov_tail(raw1.hi, 1, 4 * d)
+        cantelli = cantelli_upper_tail(var.hi, raw1.hi, 4 * d)
+        assert cantelli < markov1
+
+
+class TestWarningsAndDiagnostics:
+    def test_call_precondition_warning(self):
+        program = parse_program(
+            """
+            func f() pre(x >= 5) begin
+              tick(1)
+            end
+            func main() begin
+              x := 0;
+              call f
+            end
+            """
+        )
+        result = analyze(program, AnalysisOptions(moment_degree=1))
+        assert any("pre-condition" in w for w in result.warnings)
+
+    def test_dropped_invariant_warning(self):
+        program = parse_program(
+            """
+            func main() pre(x >= 0) begin
+              while x > 0 inv(x >= 100) do
+                x := x - 1;
+                tick(1)
+              od
+            end
+            """
+        )
+        result = analyze(program, AnalysisOptions(moment_degree=1))
+        assert any("invariant" in w for w in result.warnings)
+
+    def test_summary_renders(self, rdwalk_result):
+        text = rdwalk_result.summary()
+        assert "E[C^1]" in text and "V[C]" in text

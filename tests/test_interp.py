@@ -1,0 +1,207 @@
+"""Tests for the small-step operational semantics and Monte-Carlo harness."""
+
+import numpy as np
+import pytest
+
+from repro.interp.machine import Machine, eval_cond, eval_expr, left_policy
+from repro.interp.mc import (
+    density_histogram,
+    estimate_cost_statistics,
+    simulate_costs,
+)
+from repro.lang.parser import parse_condition, parse_expression, parse_program
+
+
+def run_once(source, seed=0, initial=None, **kwargs):
+    program = parse_program(source)
+    machine = Machine(program, **kwargs)
+    return machine.run(np.random.default_rng(seed), initial=initial)
+
+
+class TestEvaluation:
+    def test_expr(self):
+        expr = parse_expression("2 * x + y - 1")
+        assert eval_expr(expr, {"x": 3.0, "y": 4.0}) == 9.0
+
+    def test_missing_variable_defaults_to_zero(self):
+        assert eval_expr(parse_expression("x + 1"), {}) == 1.0
+
+    def test_cond(self):
+        env = {"x": 1.0, "y": 2.0}
+        assert eval_cond(parse_condition("x < y and not (x == y)"), env)
+        assert not eval_cond(parse_condition("x >= y or y != 2"), env)
+
+
+class TestMachine:
+    def test_deterministic_cost(self):
+        result = run_once(
+            """
+            func main() begin
+              x := 3;
+              while x > 0 do
+                tick(2);
+                x := x - 1
+              od;
+              tick(-1)
+            end
+            """
+        )
+        assert result.terminated
+        assert result.cost == 5.0
+        assert result.valuation["x"] == 0.0
+
+    def test_call_and_recursion(self):
+        result = run_once(
+            """
+            func down() begin
+              if x > 0 then
+                tick(1);
+                x := x - 1;
+                call down
+              fi
+            end
+            func main() begin
+              x := 4;
+              call down
+            end
+            """
+        )
+        assert result.cost == 4.0
+
+    def test_deep_recursion_does_not_overflow(self):
+        result = run_once(
+            """
+            func down() begin
+              if x > 0 then
+                tick(1);
+                x := x - 1;
+                call down;
+                tick(1)
+              fi
+            end
+            func main() begin
+              x := 5000;
+              call down
+            end
+            """,
+        )
+        assert result.cost == 10_000.0
+
+    def test_initial_valuation(self):
+        result = run_once(
+            "func main() begin tick(1); y := x end", initial={"x": 7.0}
+        )
+        assert result.valuation["y"] == 7.0
+
+    def test_max_steps_timeout(self):
+        program = parse_program(
+            "func main() begin while true do tick(1) od end"
+        )
+        machine = Machine(program)
+        result = machine.run(np.random.default_rng(0), max_steps=500)
+        assert not result.terminated
+        assert result.steps == 500
+
+    def test_prob_branch_statistics(self):
+        program = parse_program(
+            "func main() begin if prob(0.25) then tick(1) fi end"
+        )
+        machine = Machine(program)
+        rng = np.random.default_rng(0)
+        costs = [machine.run(rng).cost for _ in range(4000)]
+        assert np.mean(costs) == pytest.approx(0.25, abs=0.03)
+
+    def test_sampling_statistics(self):
+        program = parse_program(
+            "func main() begin t ~ uniform(-1, 2); x := t end"
+        )
+        machine = Machine(program)
+        rng = np.random.default_rng(0)
+        values = [machine.run(rng).valuation["x"] for _ in range(4000)]
+        assert np.mean(values) == pytest.approx(0.5, abs=0.06)
+        assert min(values) >= -1.0 and max(values) <= 2.0
+
+    def test_nondet_policies(self):
+        source = """
+        func main() begin
+          if ndet then tick(1) else tick(2) fi
+        end
+        """
+        assert run_once(source, nondet_policy=left_policy).cost == 1.0
+        program = parse_program(source)
+        rng = np.random.default_rng(0)
+        costs = {Machine(program).run(rng).cost for _ in range(50)}
+        assert costs == {1.0, 2.0}
+
+    def test_sequencing_order(self):
+        result = run_once(
+            """
+            func main() begin
+              x := 1;
+              x := x + 1;
+              x := x * 3
+            end
+            """
+        )
+        assert result.valuation["x"] == 6.0
+
+    def test_geo_expected_cost_is_one(self):
+        # Counterexample 2.7's program: true expected cost is 1.
+        program = parse_program(
+            """
+            func geo() begin
+              x := x + 1;
+              if prob(0.5) then
+                tick(1);
+                call geo
+              fi
+            end
+            func main() begin
+              x := 0;
+              call geo
+            end
+            """
+        )
+        stats = estimate_cost_statistics(program, n=20_000, seed=5, degree=2)
+        assert stats.mean == pytest.approx(1.0, abs=0.05)
+
+
+class TestMonteCarlo:
+    def test_simulate_costs_shape(self):
+        program = parse_program("func main() begin tick(3) end")
+        costs = simulate_costs(program, 10, seed=0)
+        assert costs.shape == (10,)
+        assert np.all(costs == 3.0)
+
+    def test_statistics_of_known_distribution(self):
+        # Cost ~ 1 + Bernoulli(0.5): mean 1.5, variance 0.25.
+        program = parse_program(
+            "func main() begin tick(1); if prob(0.5) then tick(1) fi end"
+        )
+        stats = estimate_cost_statistics(program, n=30_000, seed=2)
+        assert stats.mean == pytest.approx(1.5, abs=0.02)
+        assert stats.central[2] == pytest.approx(0.25, abs=0.02)
+        assert stats.raw[2] == pytest.approx(2.5, abs=0.05)
+        assert stats.central[4] == pytest.approx(0.0625, abs=0.02)
+        assert stats.timeouts == 0
+
+    def test_skewness_and_kurtosis_of_symmetric_cost(self):
+        program = parse_program(
+            "func main() begin t ~ discrete(-1: 0.5, 1: 0.5); "
+            "if t > 0 then tick(1) else tick(-1) fi end"
+        )
+        stats = estimate_cost_statistics(program, n=30_000, seed=3)
+        assert stats.skewness == pytest.approx(0.0, abs=0.05)
+        assert stats.kurtosis == pytest.approx(1.0, abs=0.05)  # two-point law
+
+    def test_density_histogram_normalized(self):
+        rng = np.random.default_rng(0)
+        costs = rng.normal(10.0, 2.0, size=5000)
+        mid, dens = density_histogram(costs, bins=40)
+        width = mid[1] - mid[0]
+        assert np.sum(dens) * width == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_terminating_runs_raises(self):
+        program = parse_program("func main() begin while true do tick(1) od end")
+        with pytest.raises(RuntimeError):
+            estimate_cost_statistics(program, n=3, seed=0, max_steps=100)

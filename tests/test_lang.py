@@ -1,0 +1,266 @@
+"""Tests for the Appl language: AST, parser, printer, distributions."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Call,
+    Cmp,
+    Discrete,
+    IfBranch,
+    NondetBranch,
+    ProbBranch,
+    Sample,
+    Seq,
+    Skip,
+    Tick,
+    Uniform,
+    Var,
+    While,
+)
+from repro.lang.parser import (
+    ParseError,
+    parse_condition,
+    parse_expression,
+    parse_program,
+    parse_statement,
+)
+from repro.lang.printer import format_program, format_stmt
+
+
+class TestParserStatements:
+    def test_skip_tick_call(self):
+        stmt = parse_statement("skip; tick(2.5); call f")
+        assert isinstance(stmt, Seq)
+        tick, call = stmt.stmts  # Skip is normalized away by Seq.of
+        assert isinstance(tick, Tick) and tick.cost == 2.5
+        assert isinstance(call, Call) and call.func == "f"
+
+    def test_negative_tick(self):
+        stmt = parse_statement("tick(-1.5)")
+        assert isinstance(stmt, Tick) and stmt.cost == -1.5
+
+    def test_assignment_expression(self):
+        stmt = parse_statement("x := 2 * (y + 1) - z / 2")
+        assert isinstance(stmt, Assign)
+        poly = stmt.expr.to_polynomial()
+        assert poly.evaluate({"y": 3.0, "z": 4.0}) == 6.0
+
+    def test_sampling_statements(self):
+        stmt = parse_statement("t ~ uniform(-1, 2)")
+        assert isinstance(stmt, Sample)
+        assert isinstance(stmt.dist, Uniform)
+        stmt = parse_statement("t ~ discrete(-1: 0.25, 1: 0.75)")
+        assert isinstance(stmt.dist, Discrete)
+        stmt = parse_statement("t ~ unifint(0, 3)")
+        assert stmt.dist.moment(1) == pytest.approx(1.5)
+        stmt = parse_statement("t ~ ber(0.3)")
+        assert stmt.dist.moment(1) == pytest.approx(0.3)
+
+    def test_prob_branch(self):
+        stmt = parse_statement("if prob(0.25) then tick(1) else skip fi")
+        assert isinstance(stmt, ProbBranch)
+        assert stmt.prob == 0.25
+        assert isinstance(stmt.then_branch, Tick)
+        assert isinstance(stmt.else_branch, Skip)
+
+    def test_prob_branch_without_else(self):
+        stmt = parse_statement("if prob(0.5) then tick(1) fi")
+        assert isinstance(stmt.else_branch, Skip)
+
+    def test_nondet_branch(self):
+        stmt = parse_statement("if ndet then tick(1) else tick(2) fi")
+        assert isinstance(stmt, NondetBranch)
+
+    def test_conditional(self):
+        stmt = parse_statement("if x < y and y <= 3 then x := y fi")
+        assert isinstance(stmt, IfBranch)
+
+    def test_while_with_invariant(self):
+        stmt = parse_statement("while x > 0 inv(x >= 0, x <= 9) do x := x - 1 od")
+        assert isinstance(stmt, While)
+        assert len(stmt.invariant) == 2
+
+    def test_nested_statements(self):
+        stmt = parse_statement(
+            "while x > 0 do if prob(0.5) then x := x - 1; tick(1) fi od"
+        )
+        assert isinstance(stmt, While)
+        assert isinstance(stmt.body, ProbBranch)
+
+    def test_trailing_semicolon_before_end(self):
+        program = parse_program("func main() begin tick(1); end")
+        assert isinstance(program.main_fun.body, Tick)
+
+    def test_comments(self):
+        program = parse_program(
+            """
+            # a comment
+            func main() begin
+              tick(1)  # trailing comment
+            end
+            """
+        )
+        assert isinstance(program.main_fun.body, Tick)
+
+    def test_pre_and_int_clauses(self):
+        program = parse_program(
+            "func main() int(n, k) pre(x <= n, n >= 0) begin x := 0 end"
+        )
+        fun = program.main_fun
+        assert fun.integers == ("n", "k")
+        assert len(fun.pre) == 2
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(ValueError, match="main"):
+            parse_program("func helper() begin skip end")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_program("func main() begin skip end func main() begin skip end")
+
+    def test_syntax_error_positions(self):
+        with pytest.raises(ParseError):
+            parse_statement("x := := 3")
+        with pytest.raises(ParseError):
+            parse_statement("while do od")
+
+    def test_division_by_variable_rejected(self):
+        with pytest.raises(ParseError, match="division"):
+            parse_statement("x := y / z")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            parse_statement("if prob(1.5) then skip fi")
+
+
+class TestConditionsAndExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * x")
+        assert expr.to_polynomial().evaluate({"x": 10.0}) == 21.0
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x + 3")
+        assert expr.to_polynomial().evaluate({"x": 1.0}) == 2.0
+
+    def test_condition_connectives(self):
+        cond = parse_condition("x < 1 or not (y >= 2) and true")
+        assert isinstance(cond, ast.Or)
+
+    def test_negate_comparison(self):
+        cond = parse_condition("x < 1")
+        assert isinstance(cond, Cmp)
+        assert cond.negate().op == ">="
+        assert cond.negate().negate().op == "<"
+
+    def test_negate_conjunction_is_disjunction(self):
+        cond = parse_condition("x < 1 and y < 1")
+        assert isinstance(cond.negate(), ast.Or)
+
+    def test_expression_dsl_operators(self):
+        x, y = Var("x"), Var("y")
+        expr = 2 * x + y - 1
+        assert isinstance(expr, BinOp)
+        assert expr.to_polynomial().evaluate({"x": 3.0, "y": 4.0}) == 9.0
+        cond = x + 1 <= y
+        assert isinstance(cond, Cmp) and cond.op == "<="
+
+
+class TestDistributions:
+    def test_uniform_moments(self):
+        d = Uniform(-1.0, 2.0)
+        # Ex. 2.3 in the paper: E[t] = 1/2, E[t^2] = 1, E[t^3] = 5/4.
+        assert d.moment(0) == pytest.approx(1.0)
+        assert d.moment(1) == pytest.approx(0.5)
+        assert d.moment(2) == pytest.approx(1.0)
+        assert d.moment(3) == pytest.approx(1.25)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 2.0)
+
+    def test_discrete_moments_and_support(self):
+        d = Discrete.of((-1.0, 0.6), (1.0, 0.4))
+        assert d.moment(1) == pytest.approx(-0.2)
+        assert d.moment(2) == pytest.approx(1.0)
+        assert d.support() == (-1.0, 1.0)
+
+    def test_discrete_validation(self):
+        with pytest.raises(ValueError):
+            Discrete.of((0.0, 0.4), (1.0, 0.4))
+
+    def test_uniform_int(self):
+        d = ast.uniform_int(1, 4)
+        assert d.moment(1) == pytest.approx(2.5)
+        assert d.support() == (1.0, 4.0)
+        with pytest.raises(ValueError):
+            ast.uniform_int(3, 1)
+
+    def test_bernoulli_values(self):
+        d = ast.bernoulli_values(0.25, hi=4.0, lo=-1.0)
+        assert d.moment(1) == pytest.approx(0.25 * 4.0 - 0.75)
+
+    def test_sampling_within_support(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for dist in (Uniform(-1, 2), Discrete.of((-1, 0.5), (1, 0.5))):
+            lo, hi = dist.support()
+            samples = [dist.sample(rng) for _ in range(200)]
+            assert all(lo - 1e-9 <= s <= hi + 1e-9 for s in samples)
+
+    def test_discrete_sampling_frequencies(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        d = Discrete.of((0.0, 0.25), (1.0, 0.75))
+        mean = np.mean([d.sample(rng) for _ in range(4000)])
+        assert mean == pytest.approx(0.75, abs=0.05)
+
+
+class TestPrinterRoundTrip:
+    SOURCES = [
+        "func main() begin tick(1) end",
+        """
+        func rdwalk() pre(x < d + 2) begin
+          if x < d then
+            t ~ uniform(-1, 2);
+            x := x + t;
+            call rdwalk;
+            tick(1)
+          fi
+        end
+        func main() pre(d > 0) begin
+          x := 0;
+          call rdwalk
+        end
+        """,
+        """
+        func main() int(n) pre(x <= n) begin
+          while x < n inv(x <= n) do
+            if prob(0.5) then x := x + 1 else skip fi;
+            if ndet then tick(1) else tick(2) fi
+          od
+        end
+        """,
+        """
+        func main() begin
+          t ~ discrete(-1: 0.25, 0: 0.5, 1: 0.25);
+          if t <= 0 and not (t < 0) then tick(1) fi
+        end
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_print_parse_fixpoint(self, source):
+        program = parse_program(source)
+        printed = format_program(program)
+        reparsed = parse_program(printed)
+        assert format_program(reparsed) == printed
+
+    def test_format_stmt_indentation(self):
+        stmt = parse_statement("while x > 0 do x := x - 1 od")
+        text = format_stmt(stmt)
+        assert text.splitlines()[1].startswith("  ")

@@ -1,0 +1,115 @@
+"""Integrity tests for the benchmark program registry and generators."""
+
+import numpy as np
+import pytest
+
+from repro.interp.machine import Machine, eval_cond
+from repro.lang.printer import format_program
+from repro.lang.varinfo import analyze_program as static_info
+from repro.programs import registry
+from repro.programs.synthetic import (
+    coupon_chain,
+    coupon_chain_source,
+    rdwalk_chain,
+    rdwalk_chain_source,
+)
+
+ALL_NAMES = sorted(registry.all_benchmarks())
+
+
+class TestRegistry:
+    def test_registry_is_populated(self):
+        assert len(ALL_NAMES) >= 35
+        for prefix in ("rdwalk", "geo", "kura-", "absynth-", "wang-", "timing-"):
+            assert any(n.startswith(prefix) for n in ALL_NAMES), prefix
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_program_parses_and_validates(self, name):
+        bench = registry.get(name)
+        program = bench.parse()
+        info = static_info(program)
+        assert program.main in info.reachable
+        assert bench.description
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_print_parse_roundtrip(self, name):
+        program = registry.get(name).parse()
+        from repro.lang.parser import parse_program
+
+        printed = format_program(program)
+        assert format_program(parse_program(printed)) == printed
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_valuation_satisfies_preconditions(self, name):
+        bench = registry.get(name)
+        program = bench.parse()
+        env = {v: 0.0 for v in static_info(program).variables}
+        env.update(bench.valuation)
+        for cond in program.main_fun.pre:
+            assert eval_cond(cond, env), (name, cond)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_simulation_terminates(self, name):
+        bench = registry.get(name)
+        machine = Machine(bench.parse())
+        rng = np.random.default_rng(41)
+        result = machine.run(rng, initial=bench.sim_init, max_steps=400_000)
+        assert result.terminated, name
+
+    def test_parsed_cache_returns_same_object(self):
+        assert registry.parsed("rdwalk") is registry.parsed("rdwalk")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.programs.registry import BenchProgram, register
+
+        with pytest.raises(ValueError):
+            register(
+                BenchProgram(name="rdwalk", source="func main() begin skip end")
+            )
+
+    def test_by_prefix(self):
+        kura = registry.by_prefix("kura-")
+        assert len(kura) == 7
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize("n", [1, 3, 10])
+    def test_coupon_chain_structure(self, n):
+        program = coupon_chain(n)
+        assert len(program.functions) == n + 1  # states + main
+
+    def test_coupon_chain_expected_draws(self):
+        # E[draws] = N * H_N.
+        program = coupon_chain(3)
+        machine = Machine(program)
+        rng = np.random.default_rng(5)
+        costs = [machine.run(rng).cost for _ in range(4000)]
+        expected = 3 * (1 + 1 / 2 + 1 / 3)
+        assert np.mean(costs) == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_rdwalk_chain_structure(self, n):
+        program = rdwalk_chain(n)
+        assert len(program.functions) == n + 1
+
+    def test_rdwalk_chain_simulates(self):
+        program = rdwalk_chain(3)
+        machine = Machine(program)
+        rng = np.random.default_rng(6)
+        result = machine.run(rng, max_steps=200_000)
+        assert result.terminated
+        assert result.cost > 0
+
+    def test_sources_grow_linearly(self):
+        small = len(coupon_chain_source(10).splitlines())
+        large = len(coupon_chain_source(100).splitlines())
+        assert 8 <= large / small <= 12
+        small = len(rdwalk_chain_source(5).splitlines())
+        large = len(rdwalk_chain_source(50).splitlines())
+        assert 8 <= large / small <= 12
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            coupon_chain(0)
+        with pytest.raises(ValueError):
+            rdwalk_chain(0)

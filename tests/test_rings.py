@@ -1,0 +1,200 @@
+"""Tests for the interval semiring and the moment semirings.
+
+The property tests check the algebraic laws of Definition 3.1 and the
+composition property of Lemma 3.2 — the foundations the whole derivation
+system rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings.interval import Interval
+from repro.rings.moment import (
+    FLOAT_OPS,
+    INTERVAL_OPS,
+    MomentVector,
+    binomial,
+    float_moments,
+    interval_moments,
+    raw_to_central,
+    variance_interval,
+)
+
+floats = st.integers(-8, 8).map(float)
+intervals = st.tuples(floats, floats).map(lambda ab: Interval(min(ab), max(ab)))
+
+
+class TestInterval:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_addition(self):
+        assert Interval(1, 2) + Interval(-1, 3) == Interval(0, 5)
+
+    def test_multiplication_signs(self):
+        assert Interval(-1, 2) * Interval(-3, 1) == Interval(-6, 3)
+        assert Interval(2, 3) * Interval(-2, -1) == Interval(-6, -2)
+
+    def test_scale_negative_swaps_ends(self):
+        assert Interval(1, 2).scale(-2.0) == Interval(-4, -2)
+
+    def test_even_power_around_zero(self):
+        assert Interval(-2, 1) ** 2 == Interval(0, 4)
+        assert Interval(-2, -1) ** 2 == Interval(1, 4)
+
+    def test_odd_power_monotone(self):
+        assert Interval(-2, 1) ** 3 == Interval(-8, 1)
+
+    def test_contains_and_join(self):
+        assert Interval(0, 4).contains(Interval(1, 2))
+        assert not Interval(0, 4).contains(Interval(1, 5))
+        assert Interval(0, 1).join(Interval(3, 4)) == Interval(0, 4)
+
+    def test_meet(self):
+        assert Interval(0, 2).meet(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).meet(Interval(2, 3)) is None
+
+    def test_zero_times_infinity(self):
+        top = Interval.top()
+        assert (top * Interval.point(0.0)) == Interval.point(0.0)
+
+    @given(intervals, intervals, st.integers(-3, 3).map(float), st.integers(-3, 3).map(float))
+    @settings(max_examples=80, deadline=None)
+    def test_arithmetic_soundness(self, a, b, pa, pb):
+        """Interval ops over-approximate the pointwise ops."""
+        xa = min(max(pa, a.lo), a.hi)
+        xb = min(max(pb, b.lo), b.hi)
+        assert (a + b).contains(xa + xb)
+        assert (a * b).contains(xa * xb)
+        assert (a - b).contains(xa - xb)
+        assert (a**3).contains(xa**3)
+        assert (a**2).contains(xa**2)
+
+
+class TestMomentSemiring:
+    def test_identities(self):
+        one = MomentVector.one(3, FLOAT_OPS)
+        zero = MomentVector.zero(3, FLOAT_OPS)
+        v = float_moments(2.0, 3)
+        assert v.otimes(one) == v
+        assert one.otimes(v) == v
+        assert v.oplus(zero) == v
+
+    def test_powers_vector(self):
+        assert float_moments(3.0, 3).elems == (1.0, 3.0, 9.0, 27.0)
+
+    def test_second_moment_composition_formula(self):
+        # Eq. (3) of the paper: <1,r1,s1> ⊗ <1,r2,s2> = <1, r1+r2, s1+2r1r2+s2>.
+        u = MomentVector([1.0, 2.0, 5.0], FLOAT_OPS)
+        v = MomentVector([1.0, 3.0, 11.0], FLOAT_OPS)
+        assert u.otimes(v).elems == (1.0, 5.0, 5.0 + 2.0 * 2.0 * 3.0 + 11.0)
+
+    def test_termination_probability_composition(self):
+        # Eq. (5): <p1,r1,s1> ⊗ <p2,r2,s2> with nontrivial 0th components.
+        u = MomentVector([0.5, 2.0, 5.0], FLOAT_OPS)
+        v = MomentVector([0.5, 3.0, 11.0], FLOAT_OPS)
+        result = u.otimes(v)
+        assert result.elems[0] == 0.25
+        assert result.elems[1] == 0.5 * 2.0 + 0.5 * 3.0
+        assert result.elems[2] == 0.5 * 5.0 + 2 * 2.0 * 3.0 + 0.5 * 11.0
+
+    def test_mismatched_orders_rejected(self):
+        with pytest.raises(ValueError):
+            MomentVector.one(2, FLOAT_OPS).oplus(MomentVector.one(3, FLOAT_OPS))
+
+    @given(floats, floats, st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_lemma_3_2_composition(self, u, v, m):
+        """Lemma 3.2: <(u+v)^k> = <u^k> ⊗ <v^k>."""
+        left = float_moments(u + v, m)
+        right = float_moments(u, m).otimes(float_moments(v, m))
+        for a, b in zip(left, right):
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-9)
+
+    @given(intervals, intervals, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_lemma_3_2_interval_soundness(self, a, b, m):
+        """Interval instantiation contains the pointwise instantiation."""
+        composed = interval_moments(a, m).otimes(interval_moments(b, m))
+        point = float_moments(a.lo + b.lo, m)
+        for iv, x in zip(composed, point):
+            assert iv.contains(x)
+
+    @given(
+        st.lists(floats, min_size=3, max_size=3),
+        st.lists(floats, min_size=3, max_size=3),
+        st.lists(floats, min_size=3, max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_semiring_laws(self, xs, ys, zs):
+        u = MomentVector(xs, FLOAT_OPS)
+        v = MomentVector(ys, FLOAT_OPS)
+        w = MomentVector(zs, FLOAT_OPS)
+        assert u.oplus(v) == v.oplus(u)
+        assert u.oplus(v).oplus(w) == u.oplus(v.oplus(w))
+        # ⊗ distributes over ⊕ (Remark 2.5 uses this for decomposition).
+        left = u.otimes(v.oplus(w))
+        right = u.otimes(v).oplus(u.otimes(w))
+        for a, b in zip(left, right):
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-9)
+
+    def test_binomial(self):
+        assert [binomial(4, k) for k in range(5)] == [1, 4, 6, 4, 1]
+
+
+class TestCentralMoments:
+    def _raw_intervals(self, samples, degree):
+        return [
+            Interval.point(float(np.mean(samples**k))) for k in range(degree + 1)
+        ]
+
+    def test_variance_from_point_raw_moments(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(2.0, size=200_000)
+        raw = self._raw_intervals(samples, 2)
+        var = variance_interval(raw)
+        assert var.lo == pytest.approx(float(np.var(samples)), rel=1e-9)
+        assert var.hi == pytest.approx(float(np.var(samples)), rel=1e-9)
+        assert var.width < 1e-6  # point inputs give (near-)point output
+
+    def test_variance_nonnegative_lower_end(self):
+        raw = [Interval.point(1.0), Interval(0.0, 10.0), Interval(0.0, 4.0)]
+        var = variance_interval(raw)
+        assert var.lo >= 0.0
+
+    def test_fourth_central_moment(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(3.0, 1.5, size=300_000)
+        raw = self._raw_intervals(samples, 4)
+        c4 = raw_to_central(raw, 4)
+        true_c4 = float(np.mean((samples - samples.mean()) ** 4))
+        assert c4.lo - 1e-6 <= true_c4 <= c4.hi + 1e-6
+
+    def test_third_central_moment_sign(self):
+        rng = np.random.default_rng(2)
+        samples = rng.exponential(1.0, size=300_000)  # right-skewed
+        raw = self._raw_intervals(samples, 3)
+        c3 = raw_to_central(raw, 3)
+        true_c3 = float(np.mean((samples - samples.mean()) ** 3))
+        assert c3.lo - 1e-6 <= true_c3 <= c3.hi + 1e-6
+
+    def test_wide_raw_intervals_still_bracket(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 4.0, size=100_000)
+        raw = [
+            Interval(float(np.mean(samples**k)) * 0.9, float(np.mean(samples**k)) * 1.1)
+            for k in range(5)
+        ]
+        raw[0] = Interval.point(1.0)
+        for k in (2, 4):
+            central = raw_to_central(raw, k)
+            assert central.contains(float(np.mean((samples - samples.mean()) ** k)))
+
+    def test_degree_checks(self):
+        with pytest.raises(ValueError):
+            raw_to_central([Interval.point(1.0)] * 3, 1)
+        with pytest.raises(ValueError):
+            raw_to_central([Interval.point(1.0)] * 2, 4)

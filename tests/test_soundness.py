@@ -1,0 +1,129 @@
+"""Tests for the Theorem 4.4 side-condition checkers."""
+
+import pytest
+
+from repro import parse_program
+from repro.soundness.bounded_update import check_bounded_update
+from repro.soundness.checker import check_soundness
+from repro.soundness.termination import check_termination_moment
+
+
+def program(body: str, pre: str = "") -> object:
+    return parse_program(f"func main(){pre} begin {body} end")
+
+
+class TestBoundedUpdate:
+    def test_constant_shift_ok(self):
+        report = check_bounded_update(program("x := x + 1; y := y - 2.5"))
+        assert report.ok
+
+    def test_bounded_reset_ok(self):
+        report = check_bounded_update(program("x := 3; y := x + 1"))
+        assert report.ok
+
+    def test_shift_by_bounded_sample_ok(self):
+        report = check_bounded_update(program("t ~ uniform(-1, 2); x := x + t"))
+        assert report.ok
+
+    def test_doubling_fails(self):
+        report = check_bounded_update(program("x := 2 * x"))
+        assert not report.ok
+        assert any("x" in v for v in report.violations)
+
+    def test_sum_of_unbounded_vars_fails(self):
+        report = check_bounded_update(program("x := x + 1; z := x + x"))
+        assert not report.ok
+
+    def test_shift_by_unbounded_var_fails(self):
+        # y grows without bound, so x := x + y is not a bounded update.
+        report = check_bounded_update(program("y := y + 1; x := x + y"))
+        assert not report.ok
+
+    def test_copy_of_unbounded_var_ok(self):
+        # |x| <= |y| = O(n): coefficient-1 copies preserve linear growth.
+        report = check_bounded_update(program("y := y + 1; x := y"))
+        assert report.ok
+
+    def test_scaled_copy_fails(self):
+        report = check_bounded_update(program("y := y + 1; x := 2 * y"))
+        assert not report.ok
+
+    def test_chain_of_bounded_vars_ok(self):
+        report = check_bounded_update(
+            program("t ~ uniform(0, 1); u := t + 1; x := x + u")
+        )
+        assert report.ok
+
+    def test_rdwalk_is_bounded(self):
+        from repro.programs import registry
+
+        report = check_bounded_update(registry.get("rdwalk").parse())
+        assert report.ok
+
+    def test_all_registered_benchmarks_bounded(self):
+        from repro.programs import registry
+
+        for name, bench in registry.all_benchmarks().items():
+            report = check_bounded_update(bench.parse())
+            assert report.ok, f"{name}: {report.violations}"
+
+
+class TestTerminationMoments:
+    def test_rdwalk_second_moment_finite(self):
+        from repro.programs import registry
+
+        report = check_termination_moment(registry.get("rdwalk").parse(), 2)
+        assert report.ok
+        assert report.bound_str
+
+    def test_geo_fourth_moment_finite(self):
+        from repro.programs import registry
+
+        report = check_termination_moment(registry.get("geo").parse(), 4)
+        assert report.ok
+
+    def test_nonterminating_loop_fails(self):
+        report = check_termination_moment(
+            program("while true do tick(1) od"), 1
+        )
+        assert not report.ok
+        assert "divergence" in report.detail
+
+    def test_symmetric_walk_fails(self):
+        # The symmetric random walk terminates a.s. but E[T] = infinity;
+        # no polynomial potential exists and the checker must say so.
+        report = check_termination_moment(
+            program(
+                "while x > 0 inv(x >= 0) do "
+                "t ~ discrete(-1: 0.5, 1: 0.5); x := x + t; tick(1) od",
+                pre=" pre(x >= 0)",
+            ),
+            1,
+        )
+        assert not report.ok
+
+
+class TestCombinedReport:
+    def test_ok_program(self):
+        from repro.programs import registry
+
+        report = check_soundness(registry.get("rdwalk").parse(), 2)
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_failing_program(self):
+        report = check_soundness(program("x := 2 * x; tick(1)"), 1)
+        assert not report.ok
+        assert "NOT ESTABLISHED" in report.summary()
+
+    def test_engine_integration(self):
+        from repro import AnalysisOptions, analyze
+        from repro.programs import registry
+
+        bench = registry.get("geo")
+        result = analyze(
+            bench.parse(),
+            AnalysisOptions(moment_degree=1, check_soundness=True),
+        )
+        assert result.soundness is not None
+        assert result.soundness.ok
