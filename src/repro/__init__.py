@@ -32,7 +32,9 @@ Quickstart::
 from repro.analysis.engine import (
     AnalysisError,
     AnalysisOptions,
+    AnalysisPipeline,
     analyze,
+    analyze_many,
     analyze_upper_raw,
 )
 from repro.analysis.results import MomentBoundResult
@@ -55,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisError",
     "AnalysisOptions",
+    "AnalysisPipeline",
     "CostStatistics",
     "Interval",
     "LPError",
@@ -63,6 +66,7 @@ __all__ = [
     "MomentVector",
     "SoundnessReport",
     "analyze",
+    "analyze_many",
     "analyze_upper_raw",
     "best_upper_tail",
     "cantelli_upper_tail",

@@ -1,277 +1,33 @@
-"""The analysis driver: contexts → templates → constraints → LP → bounds.
+"""The analysis driver — a thin façade over the staged pipeline.
 
-Orchestrates the full pipeline of the paper's tool (section 3.4):
+Historically this module hard-wired the full contexts → templates →
+constraints → LP sequence into one function; that lives in
+:mod:`repro.analysis.pipeline` now, with one cacheable artifact per stage
+and a batch driver.  This module keeps the stable public entry points:
 
-1. validate the program and compute shared static facts,
-2. run the interprocedural context analysis (abstract interpretation),
-3. allocate spec templates for every called function at every restriction
-   level 0..m (moment-polymorphic recursion),
-4. run the backward derivation over every function body and over main,
-   emitting linear constraints,
-5. solve the LP, minimizing the imprecision of main's pre-annotation at
-   concrete valuations of the pre-condition (lexicographically from the
-   first moment upwards),
-6. resolve the templates into concrete polynomial interval bounds,
-7. optionally run the Theorem 4.4 soundness side-condition checks
-   (bounded updates + termination-moment finiteness).
+* :class:`AnalysisOptions` — the analyzer knobs
+* :func:`analyze` — one-shot analysis of a single program
+* :func:`analyze_upper_raw` — the raw-moment upper-bound baseline mode
+* :func:`analyze_many` — concurrent batch analysis of a workload
+* :class:`AnalysisPipeline` — stage-level access with artifact caching
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field, replace
-
-import numpy as np
-from scipy.optimize import linprog
-
-from repro.analysis.annotations import MomentAnnotation
-from repro.analysis.results import (
-    FunctionBound,
-    MomentBoundResult,
-    resolve_annotation,
+from repro.analysis.pipeline import (
+    AnalysisOptions,
+    AnalysisPipeline,
+    analyze,
+    analyze_many,
+    analyze_upper_raw,
 )
-from repro.analysis.specs import SpecTable
-from repro.analysis.transformer import AnalysisError, Deriver
-from repro.lang.ast import Program
-from repro.lang.varinfo import analyze_program as static_info
-from repro.logic.absint import compute_contexts
-from repro.logic.context import Context
-from repro.lp.affine import AffForm
-from repro.lp.problem import LPProblem
-
-
-@dataclass(frozen=True)
-class AnalysisOptions:
-    """Knobs of the analyzer.
-
-    ``moment_degree`` is the paper's ``m`` (how many raw moments to bound);
-    ``template_degree`` is ``d`` (the k-th moment component uses polynomials
-    of degree ``k*d``).  ``objective_valuations`` are the concrete points at
-    which imprecision is minimized; when omitted, a feasible point of main's
-    pre-condition is computed automatically.
-    """
-
-    moment_degree: int = 2
-    template_degree: int = 1
-    objective_valuations: tuple[dict[str, float], ...] | None = None
-    upper_only: bool = False
-    unit_cost: bool = False
-    check_soundness: bool = False
-    lexicographic: bool = True
-    lp_bound: float = 1e12
-    degree_cap: int | None = None
-
-    def __post_init__(self) -> None:
-        if self.moment_degree < 1:
-            raise ValueError("moment_degree must be at least 1")
-        if self.template_degree < 1:
-            raise ValueError("template_degree must be at least 1")
-
-
-def analyze(program: Program, options: AnalysisOptions | None = None) -> MomentBoundResult:
-    """Derive interval bounds on the raw moments of the cost of ``program``."""
-    options = options or AnalysisOptions()
-    start = time.perf_counter()
-
-    info = static_info(program)
-    cmap = compute_contexts(program, info)
-    lp = LPProblem()
-
-    called = sorted(
-        set().union(*(info.call_graph[f] for f in info.reachable))
-        & info.reachable
-    )
-    specs = SpecTable(
-        lp,
-        called,
-        options.moment_degree,
-        options.template_degree,
-        info.variables,
-        upper_only=options.upper_only,
-        degree_cap=options.degree_cap,
-    )
-    deriver = Deriver(
-        lp=lp,
-        cmap=cmap,
-        specs=specs,
-        m=options.moment_degree,
-        template_degree=options.template_degree,
-        variables=info.variables,
-        unit_cost=options.unit_cost,
-        upper_only=options.upper_only,
-        degree_cap=options.degree_cap,
-    )
-
-    for name in called:
-        deriver.derive_function_specs(program, name)
-
-    main_post = MomentAnnotation.one(options.moment_degree)
-    main_pre = deriver.derive(program.main_fun.body, main_post, level=0)
-
-    valuations = _objective_valuations(
-        options, cmap.fun_pre[program.main], info.variables
-    )
-    solution, objective_values = _solve(
-        lp, main_pre, valuations, options, specs
-    )
-
-    resolved = resolve_annotation(main_pre, solution.values)
-    fun_bounds = {
-        name: FunctionBound(
-            name=name,
-            pres=[resolve_annotation(a, solution.values) for a in spec.pres],
-            posts=[resolve_annotation(a, solution.values) for a in spec.posts],
-        )
-        for name, spec in specs.specs.items()
-    }
-
-    result = MomentBoundResult(
-        raw=resolved,
-        functions=fun_bounds,
-        valuations=list(valuations),
-        objective_values=objective_values,
-        warnings=list(cmap.warnings),
-        lp_variables=lp.num_variables,
-        lp_constraints=lp.num_constraints,
-        solve_seconds=time.perf_counter() - start,
-    )
-
-    if options.check_soundness:
-        from repro.soundness.checker import check_soundness
-
-        result.soundness = check_soundness(
-            program, options.moment_degree * options.template_degree
-        )
-    return result
-
-
-def analyze_upper_raw(
-    program: Program, options: AnalysisOptions | None = None
-) -> MomentBoundResult:
-    """Upper bounds on raw moments only (the Kura et al. baseline mode).
-
-    Lower ends are pinned to zero, which is only sound for nonnegative
-    costs — the same restriction the compared tools have (Fig. 1(a)).
-    """
-    options = options or AnalysisOptions()
-    return analyze(program, replace(options, upper_only=True))
-
-
-# ---------------------------------------------------------------------------
-# Objective handling
-# ---------------------------------------------------------------------------
-
-
-def _objective_valuations(
-    options: AnalysisOptions,
-    pre_ctx: Context,
-    variables: tuple[str, ...],
-) -> list[dict[str, float]]:
-    def complete(valuation: dict[str, float]) -> dict[str, float]:
-        full = {v: 1.0 for v in variables}
-        full.update(valuation)
-        return full
-
-    if options.objective_valuations:
-        return [complete(dict(v)) for v in options.objective_valuations]
-    point = _feasible_point(pre_ctx)
-    valuations = [complete(point)]
-    scaled = {v: x * 50.0 for v, x in point.items()}
-    if all(g.holds(scaled) for g in pre_ctx.ineqs) and scaled != point:
-        valuations.append(complete(scaled))
-    return valuations
-
-
-def _feasible_point(ctx: Context) -> dict[str, float]:
-    """A strictly interior point of the pre-condition polyhedron.
-
-    Maximizes the minimum slack (Chebyshev-style) within a +/-100 box, so the
-    objective is evaluated away from degenerate boundary points.
-    """
-    variables = sorted(ctx.variables())
-    if not variables or ctx.bottom:
-        return {v: 1.0 for v in variables}
-    index = {v: i for i, v in enumerate(variables)}
-    n = len(variables)
-    # max t  s.t.  g_i(x) >= t,  |x| <= 100,  t <= 10
-    cost = np.zeros(n + 1)
-    cost[n] = -1.0
-    rows = []
-    rhs = []
-    for g in ctx.ineqs:
-        row = np.zeros(n + 1)
-        for v, c in g.expr.coeffs:
-            row[index[v]] = -c
-        row[n] = 1.0
-        rows.append(row)
-        rhs.append(g.expr.const)
-    bounds = [(-100.0, 100.0)] * n + [(None, 10.0)]
-    result = linprog(
-        cost, A_ub=np.array(rows), b_ub=np.array(rhs), bounds=bounds, method="highs"
-    )
-    if not result.success:
-        return {v: 1.0 for v in variables}
-    return {v: float(result.x[index[v]]) for v in variables}
-
-
-def _solve(
-    lp: LPProblem,
-    main_pre: MomentAnnotation,
-    valuations: list[dict[str, float]],
-    options: AnalysisOptions,
-    specs: SpecTable | None = None,
-):
-    """Lexicographic minimization of imprecision, first moment first."""
-    m = main_pre.degree
-    stage_objectives: list[AffForm] = []
-    for k in range(1, m + 1):
-        obj = AffForm.constant(0.0)
-        for valuation in valuations:
-            hi = main_pre.intervals[k].hi.evaluate(valuation)
-            obj = obj + _as_aff(hi)
-            if not options.upper_only:
-                lo = main_pre.intervals[k].lo.evaluate(valuation)
-                obj = obj - _as_aff(lo)
-        stage_objectives.append(obj)
-
-    if not options.lexicographic:
-        total = AffForm.constant(0.0)
-        for obj in stage_objectives:
-            total = total + obj
-        solution = lp.solve(total, bound=options.lp_bound)
-        return solution, [solution.objective]
-
-    solution = None
-    objective_values: list[float] = []
-    for stage, obj in enumerate(stage_objectives):
-        if obj.is_constant():
-            objective_values.append(obj.const)
-            continue
-        # Normalize the stage objective: higher moments reach 1e8-scale
-        # coefficients, and HiGHS is sensitive to objective scaling.
-        scale = max(abs(c) for c in obj.terms.values())
-        scaled = obj * (1.0 / scale)
-        solution = lp.solve(scaled, bound=options.lp_bound)
-        objective_values.append(solution.objective * scale)
-        if stage < len(stage_objectives) - 1:
-            # Keep a margin well above HiGHS' feasibility tolerance so the
-            # next stage's problem stays numerically feasible.
-            tolerance = 1e-5 * (1.0 + abs(solution.objective))
-            lp.add_le(scaled - (solution.objective + tolerance))
-    if solution is None:
-        solution = lp.solve(None, bound=options.lp_bound)
-    return solution, objective_values
-
-
-def _as_aff(value) -> AffForm:
-    if isinstance(value, AffForm):
-        return value
-    return AffForm.constant(float(value))
-
+from repro.analysis.transformer import AnalysisError
 
 __all__ = [
-    "AnalysisOptions",
     "AnalysisError",
+    "AnalysisOptions",
+    "AnalysisPipeline",
     "analyze",
+    "analyze_many",
     "analyze_upper_raw",
 ]

@@ -1,0 +1,501 @@
+"""The staged analysis pipeline: contexts → templates → constraints → LP.
+
+The paper's tool (section 3.4) is a four-stage pipeline; this module makes
+the stages explicit, with one cacheable artifact per stage:
+
+====================  =========================================================
+stage                 artifact (cache key)
+====================  =========================================================
+static analysis       ``ProgramInfo``            (per program)
+context analysis      ``ContextMap``             (per program)
+constraint derivation ``ConstraintSystem``       (m, d, upper_only, unit_cost,
+                                                  degree_cap, backend)
+LP solving            ``StageSolution``          (the above + valuations,
+                                                  lexicographic, lp_bound)
+resolution            ``MomentBoundResult``      (not cached: cheap)
+====================  =========================================================
+
+An :class:`AnalysisPipeline` instance owns the caches for one program, so a
+caller can re-solve at different objective valuations without re-deriving
+constraints, or raise the moment degree and still reuse the static and
+context stages.  Lexicographic stage cuts are rolled back after every solve
+(:meth:`~repro.lp.problem.LPProblem.rollback`), leaving the cached
+constraint system pristine for the next objective.
+
+``analyze`` is the one-shot convenience wrapper (what the CLI and the old
+``engine.analyze`` call); ``analyze_many`` is the batch driver that runs a
+workload of programs concurrently via :mod:`concurrent.futures`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.analysis.annotations import MomentAnnotation
+from repro.analysis.results import (
+    FunctionBound,
+    MomentBoundResult,
+    resolve_annotation,
+)
+from repro.analysis.specs import SpecTable
+from repro.analysis.transformer import Deriver
+from repro.lang.ast import Program
+from repro.lang.varinfo import ProgramInfo, analyze_program as static_info
+from repro.logic.absint import ContextMap, compute_contexts
+from repro.logic.context import Context
+from repro.lp.affine import AffForm
+from repro.lp.backends import get_backend
+from repro.lp.core import LPSolution
+from repro.lp.problem import LPProblem
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Knobs of the analyzer.
+
+    ``moment_degree`` is the paper's ``m`` (how many raw moments to bound);
+    ``template_degree`` is ``d`` (the k-th moment component uses polynomials
+    of degree ``k*d``).  ``objective_valuations`` are the concrete points at
+    which imprecision is minimized; when omitted, a feasible point of main's
+    pre-condition is computed automatically.  ``backend`` picks the LP
+    backend by registry name (``None`` = the default incremental backend;
+    see :mod:`repro.lp.backends`).
+    """
+
+    moment_degree: int = 2
+    template_degree: int = 1
+    objective_valuations: tuple[dict[str, float], ...] | None = None
+    upper_only: bool = False
+    unit_cost: bool = False
+    check_soundness: bool = False
+    lexicographic: bool = True
+    lp_bound: float = 1e12
+    degree_cap: int | None = None
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.moment_degree < 1:
+            raise ValueError("moment_degree must be at least 1")
+        if self.template_degree < 1:
+            raise ValueError("template_degree must be at least 1")
+
+    def derivation_key(self) -> tuple:
+        """The options a :class:`ConstraintSystem` depends on."""
+        return (
+            self.moment_degree,
+            self.template_degree,
+            self.upper_only,
+            self.unit_cost,
+            self.degree_cap,
+            self.backend,
+        )
+
+    def solve_key(self, valuations: list[dict[str, float]]) -> tuple:
+        frozen = tuple(tuple(sorted(v.items())) for v in valuations)
+        return self.derivation_key() + (frozen, self.lexicographic, self.lp_bound)
+
+
+@dataclass
+class ConstraintSystem:
+    """Stage-3 artifact: the derived LP plus the templates that feed it."""
+
+    key: tuple
+    lp: LPProblem
+    specs: SpecTable
+    main_pre: MomentAnnotation
+    called: list[str]
+    derive_seconds: float
+
+
+@dataclass
+class StageSolution:
+    """Stage-4 artifact: one lexicographic solve of a constraint system.
+
+    ``statuses[k]`` records which rung of the backend's robustness cascade
+    produced stage ``k`` (``"optimal"``, ``"optimal:regularized"``,
+    ``"optimal:boxed"``, or ``"constant"`` for stages with nothing to
+    optimize); ``scales[k]`` is the normalization factor applied to the
+    stage objective — the natural unit for comparing stage optima across
+    backends.
+    """
+
+    key: tuple
+    solution: LPSolution
+    objective_values: list[float]
+    valuations: list[dict[str, float]]
+    solve_seconds: float
+    statuses: list[str] = field(default_factory=list)
+    scales: list[float] = field(default_factory=list)
+
+
+class AnalysisPipeline:
+    """Staged, cache-carrying analysis of one program.
+
+    Quickstart::
+
+        pipe = AnalysisPipeline(program)
+        r1 = pipe.analyze(AnalysisOptions(moment_degree=2))
+        # re-solve with a different objective: constraints are reused
+        r2 = pipe.analyze(AnalysisOptions(
+            moment_degree=2, objective_valuations=({"d": 50},)))
+        # raise the degree: static + context stages are reused
+        r3 = pipe.analyze(AnalysisOptions(moment_degree=4))
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._info: ProgramInfo | None = None
+        self._cmap: ContextMap | None = None
+        self._systems: dict[tuple, ConstraintSystem] = {}
+        self._solutions: dict[tuple, StageSolution] = {}
+        self._valuations: dict[tuple | None, list[dict[str, float]]] = {}
+
+    # -- stage 1: static facts ----------------------------------------------
+
+    def static_info(self) -> ProgramInfo:
+        if self._info is None:
+            self._info = static_info(self.program)
+        return self._info
+
+    # -- stage 2: context analysis ------------------------------------------
+
+    def context_map(self) -> ContextMap:
+        if self._cmap is None:
+            self._cmap = compute_contexts(self.program, self.static_info())
+        return self._cmap
+
+    # -- stage 3: constraint derivation -------------------------------------
+
+    def constraint_system(self, options: AnalysisOptions) -> ConstraintSystem:
+        key = options.derivation_key()
+        cached = self._systems.get(key)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        info = self.static_info()
+        cmap = self.context_map()
+        lp = LPProblem(backend=get_backend(options.backend))
+        called = sorted(
+            set().union(*(info.call_graph[f] for f in info.reachable))
+            & info.reachable
+        )
+        specs = SpecTable(
+            lp,
+            called,
+            options.moment_degree,
+            options.template_degree,
+            info.variables,
+            upper_only=options.upper_only,
+            degree_cap=options.degree_cap,
+        )
+        deriver = Deriver(
+            lp=lp,
+            cmap=cmap,
+            specs=specs,
+            m=options.moment_degree,
+            template_degree=options.template_degree,
+            variables=info.variables,
+            unit_cost=options.unit_cost,
+            upper_only=options.upper_only,
+            degree_cap=options.degree_cap,
+        )
+        for name in called:
+            deriver.derive_function_specs(self.program, name)
+        main_post = MomentAnnotation.one(options.moment_degree)
+        main_pre = deriver.derive(self.program.main_fun.body, main_post, level=0)
+        system = ConstraintSystem(
+            key=key,
+            lp=lp,
+            specs=specs,
+            main_pre=main_pre,
+            called=called,
+            derive_seconds=time.perf_counter() - start,
+        )
+        self._systems[key] = system
+        return system
+
+    # -- stage 4: LP solving -------------------------------------------------
+
+    def _objective_valuations(self, options: AnalysisOptions) -> list[dict[str, float]]:
+        """Memoized: the automatic case runs a small LP (`_feasible_point`)
+        that must not be repaid on every cache-hitting re-analysis."""
+        if options.objective_valuations is None:
+            vkey = None
+        else:
+            vkey = tuple(
+                tuple(sorted(v.items())) for v in options.objective_valuations
+            )
+        cached = self._valuations.get(vkey)
+        if cached is None:
+            cached = _objective_valuations(
+                options, self.context_map().fun_pre[self.program.main],
+                self.static_info().variables,
+            )
+            self._valuations[vkey] = cached
+        return cached
+
+    def solve(self, options: AnalysisOptions) -> StageSolution:
+        system = self.constraint_system(options)
+        valuations = self._objective_valuations(options)
+        key = options.solve_key(valuations)
+        cached = self._solutions.get(key)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        checkpoint = system.lp.checkpoint()
+        try:
+            solution, objective_values, statuses, scales = _lexicographic_solve(
+                system.lp, system.main_pre, valuations, options
+            )
+        finally:
+            # Drop the stage cuts so the cached system stays re-solvable
+            # under a different objective.
+            system.lp.rollback(checkpoint)
+        staged = StageSolution(
+            key=key,
+            solution=solution,
+            objective_values=objective_values,
+            valuations=valuations,
+            solve_seconds=time.perf_counter() - start,
+            statuses=statuses,
+            scales=scales,
+        )
+        self._solutions[key] = staged
+        return staged
+
+    # -- stage 5: resolution --------------------------------------------------
+
+    def analyze(self, options: AnalysisOptions | None = None) -> MomentBoundResult:
+        """Run all stages (using whatever is cached) and resolve bounds."""
+        options = options or AnalysisOptions()
+        start = time.perf_counter()
+        system = self.constraint_system(options)
+        staged = self.solve(options)
+        values = staged.solution.values
+
+        resolved = resolve_annotation(system.main_pre, values)
+        fun_bounds = {
+            name: FunctionBound(
+                name=name,
+                pres=[resolve_annotation(a, values) for a in spec.pres],
+                posts=[resolve_annotation(a, values) for a in spec.posts],
+            )
+            for name, spec in system.specs.specs.items()
+        }
+        result = MomentBoundResult(
+            raw=resolved,
+            functions=fun_bounds,
+            valuations=list(staged.valuations),
+            objective_values=list(staged.objective_values),
+            solver_statuses=list(staged.statuses),
+            objective_scales=list(staged.scales),
+            warnings=list(self.context_map().warnings),
+            lp_variables=system.lp.num_variables,
+            lp_constraints=system.lp.num_constraints,
+            solve_seconds=time.perf_counter() - start,
+        )
+        if options.check_soundness:
+            from repro.soundness.checker import check_soundness
+
+            result.soundness = check_soundness(
+                self.program, options.moment_degree * options.template_degree
+            )
+        return result
+
+
+# ---------------------------------------------------------------------------
+# One-shot and batch drivers
+# ---------------------------------------------------------------------------
+
+
+def analyze(program: Program, options: AnalysisOptions | None = None) -> MomentBoundResult:
+    """Derive interval bounds on the raw moments of the cost of ``program``."""
+    return AnalysisPipeline(program).analyze(options)
+
+
+def analyze_upper_raw(
+    program: Program, options: AnalysisOptions | None = None
+) -> MomentBoundResult:
+    """Upper bounds on raw moments only (the Kura et al. baseline mode).
+
+    Lower ends are pinned to zero, which is only sound for nonnegative
+    costs — the same restriction the compared tools have (Fig. 1(a)).
+    """
+    options = options or AnalysisOptions()
+    return analyze(program, replace(options, upper_only=True))
+
+
+Workload = Mapping[str, "Program | tuple[Program, AnalysisOptions]"]
+
+
+def analyze_many(
+    programs: Workload | Iterable[tuple[str, Program]],
+    options: AnalysisOptions | None = None,
+    jobs: int | None = None,
+) -> dict[str, MomentBoundResult]:
+    """Analyze a workload of named programs concurrently.
+
+    ``programs`` maps names to a :class:`Program` or a ``(Program,
+    AnalysisOptions)`` pair; entries without their own options use
+    ``options``.  Results preserve the input order.  Each program gets its
+    own pipeline (and LP backend instance), so runs are independent; with
+    the default thread executor the HiGHS solves overlap while the Python
+    derivation stages interleave.
+    """
+    if not isinstance(programs, Mapping):
+        programs = dict(programs)
+    defaults = options or AnalysisOptions()
+
+    def job(entry) -> MomentBoundResult:
+        if isinstance(entry, tuple):
+            program, opts = entry
+        else:
+            program, opts = entry, defaults
+        return analyze(program, opts)
+
+    max_workers = jobs if jobs and jobs > 0 else min(8, len(programs) or 1)
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = {name: pool.submit(job, entry) for name, entry in programs.items()}
+        return {name: future.result() for name, future in futures.items()}
+
+
+# ---------------------------------------------------------------------------
+# Objective handling
+# ---------------------------------------------------------------------------
+
+
+def _objective_valuations(
+    options: AnalysisOptions,
+    pre_ctx: Context,
+    variables: tuple[str, ...],
+) -> list[dict[str, float]]:
+    def complete(valuation: dict[str, float]) -> dict[str, float]:
+        full = {v: 1.0 for v in variables}
+        full.update(valuation)
+        return full
+
+    if options.objective_valuations:
+        return [complete(dict(v)) for v in options.objective_valuations]
+    point = _feasible_point(pre_ctx)
+    valuations = [complete(point)]
+    scaled = {v: x * 50.0 for v, x in point.items()}
+    if all(g.holds(scaled) for g in pre_ctx.ineqs) and scaled != point:
+        valuations.append(complete(scaled))
+    return valuations
+
+
+def _feasible_point(ctx: Context) -> dict[str, float]:
+    """A strictly interior point of the pre-condition polyhedron.
+
+    Maximizes the minimum slack (Chebyshev-style) within a +/-100 box, so the
+    objective is evaluated away from degenerate boundary points.
+    """
+    variables = sorted(ctx.variables())
+    if not variables or ctx.bottom:
+        return {v: 1.0 for v in variables}
+    index = {v: i for i, v in enumerate(variables)}
+    n = len(variables)
+    # max t  s.t.  g_i(x) >= t,  |x| <= 100,  t <= 10
+    cost = np.zeros(n + 1)
+    cost[n] = -1.0
+    rows = []
+    rhs = []
+    for g in ctx.ineqs:
+        row = np.zeros(n + 1)
+        for v, c in g.expr.coeffs:
+            row[index[v]] = -c
+        row[n] = 1.0
+        rows.append(row)
+        rhs.append(g.expr.const)
+    bounds = [(-100.0, 100.0)] * n + [(None, 10.0)]
+    result = linprog(
+        cost, A_ub=np.array(rows), b_ub=np.array(rhs), bounds=bounds, method="highs"
+    )
+    if not result.success:
+        return {v: 1.0 for v in variables}
+    return {v: float(result.x[index[v]]) for v in variables}
+
+
+def _lexicographic_solve(
+    lp: LPProblem,
+    main_pre: MomentAnnotation,
+    valuations: list[dict[str, float]],
+    options: AnalysisOptions,
+):
+    """Lexicographic minimization of imprecision, first moment first.
+
+    Between stages only a *cut row* pinning the previous stage's optimum is
+    appended — with the incremental backend this re-optimizes the persistent
+    warm-started model instead of rebuilding it.
+    """
+    m = main_pre.degree
+    stage_objectives: list[AffForm] = []
+    for k in range(1, m + 1):
+        obj = AffForm.constant(0.0)
+        for valuation in valuations:
+            hi = main_pre.intervals[k].hi.evaluate(valuation)
+            obj = obj + _as_aff(hi)
+            if not options.upper_only:
+                lo = main_pre.intervals[k].lo.evaluate(valuation)
+                obj = obj - _as_aff(lo)
+        stage_objectives.append(obj)
+
+    if not options.lexicographic:
+        total = AffForm.constant(0.0)
+        for obj in stage_objectives:
+            total = total + obj
+        solution = lp.solve(total, bound=options.lp_bound)
+        return solution, [solution.objective], [solution.status], [1.0]
+
+    solution = None
+    objective_values: list[float] = []
+    statuses: list[str] = []
+    scales: list[float] = []
+    for stage, obj in enumerate(stage_objectives):
+        if obj.is_constant():
+            objective_values.append(obj.const)
+            statuses.append("constant")
+            scales.append(1.0)
+            continue
+        # Normalize the stage objective: higher moments reach 1e8-scale
+        # coefficients, and HiGHS is sensitive to objective scaling.
+        scale = max(abs(c) for c in obj.terms.values())
+        scaled = obj * (1.0 / scale)
+        solution = lp.solve(scaled, bound=options.lp_bound)
+        objective_values.append(solution.objective * scale)
+        statuses.append(solution.status)
+        scales.append(scale)
+        if stage < len(stage_objectives) - 1:
+            # Keep a margin well above HiGHS' feasibility tolerance so the
+            # next stage's problem stays numerically feasible.
+            tolerance = 1e-5 * (1.0 + abs(solution.objective))
+            lp.add_le(
+                scaled - (solution.objective + tolerance),
+                note=f"lex.cut{stage + 1}",
+            )
+    if solution is None:
+        solution = lp.solve(None, bound=options.lp_bound)
+    return solution, objective_values, statuses, scales
+
+
+def _as_aff(value) -> AffForm:
+    if isinstance(value, AffForm):
+        return value
+    return AffForm.constant(float(value))
+
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisPipeline",
+    "ConstraintSystem",
+    "StageSolution",
+    "analyze",
+    "analyze_many",
+    "analyze_upper_raw",
+]

@@ -63,6 +63,11 @@ class MomentBoundResult:
     functions: dict[str, FunctionBound] = field(default_factory=dict)
     valuations: list[dict[str, float]] = field(default_factory=list)
     objective_values: list[float] = field(default_factory=list)
+    #: Per-stage solver cascade rung ("optimal", "optimal:regularized",
+    #: "optimal:boxed", "constant") and objective normalization factor —
+    #: see :class:`repro.analysis.pipeline.StageSolution`.
+    solver_statuses: list[str] = field(default_factory=list)
+    objective_scales: list[float] = field(default_factory=list)
     warnings: list[str] = field(default_factory=list)
     lp_variables: int = 0
     lp_constraints: int = 0

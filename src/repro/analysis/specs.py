@@ -47,6 +47,7 @@ class SpecTable:
     ) -> None:
         self.m = m
         self.specs: dict[str, FunSpec] = {}
+        self._summaries: dict[tuple[str, int], tuple[MomentAnnotation, MomentAnnotation]] = {}
         for name in functions:
             pres = []
             posts = []
@@ -74,11 +75,21 @@ class SpecTable:
         return self.specs[name]
 
     def summary(self, name: str, level: int) -> tuple[MomentAnnotation, MomentAnnotation]:
-        """⊕-sum of the specs of ``name`` at levels ``level..m``."""
+        """⊕-sum of the specs of ``name`` at levels ``level..m``.
+
+        Cached per ``(name, level)``: the summary is pure template algebra
+        over the (immutable) spec annotations, and call-heavy programs ask
+        for the same summary at every call site.
+        """
+        key = (name, level)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
         spec = self.specs[name]
         pre = spec.pres[level]
         post = spec.posts[level]
         for h in range(level + 1, self.m + 1):
             pre = pre.oplus(spec.pres[h])
             post = post.oplus(spec.posts[h])
+        self._summaries[key] = (pre, post)
         return pre, post

@@ -108,11 +108,9 @@ class Deriver:
             return
         for k in range(1, self.m + 1):
             degree = component_degree(k, self.template_degree, self.degree_cap)
-            hi = ann.intervals[k].hi
-            if not hi.is_zero():
-                emit_nonneg_certificate(
-                    self.lp, ctx, hi, degree, label=f"{label}.nn{k}"
-                )
+            emit_nonneg_certificate(
+                self.lp, ctx, ann.intervals[k].hi, degree, label=f"{label}.nn{k}"
+            )
 
     def contain(
         self,
@@ -125,22 +123,30 @@ class Deriver:
 
         ``big.hi_k - small.hi_k >= 0`` and ``small.lo_k - big.lo_k >= 0``
         under ``ctx``, via Handelman certificates with products up to the
-        component's template degree.
+        component's template degree.  The differences are never materialized
+        as polynomials — both operands stream into the certificate emitter's
+        per-monomial builders (``minus=``).
         """
         for k in range(self.m + 1):
             degree = component_degree(k, self.template_degree, self.degree_cap)
-            hi_diff = big.intervals[k].hi - small.intervals[k].hi
-            if not hi_diff.is_zero():
-                emit_nonneg_certificate(
-                    self.lp, ctx, hi_diff, degree, label=f"{label}.hi{k}"
-                )
+            emit_nonneg_certificate(
+                self.lp,
+                ctx,
+                big.intervals[k].hi,
+                degree,
+                label=f"{label}.hi{k}",
+                minus=small.intervals[k].hi,
+            )
             if self.upper_only:
                 continue
-            lo_diff = small.intervals[k].lo - big.intervals[k].lo
-            if not lo_diff.is_zero():
-                emit_nonneg_certificate(
-                    self.lp, ctx, lo_diff, degree, label=f"{label}.lo{k}"
-                )
+            emit_nonneg_certificate(
+                self.lp,
+                ctx,
+                small.intervals[k].lo,
+                degree,
+                label=f"{label}.lo{k}",
+                minus=big.intervals[k].lo,
+            )
 
     # -- the backward transformer ----------------------------------------------------
 

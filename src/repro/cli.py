@@ -4,20 +4,27 @@ Mirrors the original tool's usage: the user supplies the program, the order
 of the analyzed moment, and the maximal polynomial degree; the tool prints
 symbolic interval bounds on the raw moments, derived central moments, and
 optionally the Theorem 4.4 soundness report and a simulation cross-check.
+
+``python -m repro batch`` runs the whole benchmark registry (optionally
+filtered by name prefix) through the concurrent batch driver
+(:func:`repro.analyze_many`) and prints one summary row per program.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro import (
     AnalysisOptions,
     analyze,
+    analyze_many,
     check_soundness,
     estimate_cost_statistics,
     parse_program,
 )
+from repro.lp.backends import available_backends
 
 
 def _parse_valuation(text: str) -> dict[str, float]:
@@ -32,6 +39,13 @@ def _parse_valuation(text: str) -> dict[str, float]:
             )
         valuation[name.strip()] = float(value)
     return valuation
+
+
+def _add_backend_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="LP backend (default: incremental warm-started HiGHS)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,11 +81,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--simulate", type=int, default=0, metavar="N",
         help="cross-check with N Monte-Carlo runs",
     )
+    _add_backend_flag(analyze_cmd)
+
+    batch_cmd = sub.add_parser(
+        "batch", help="analyze the benchmark registry concurrently"
+    )
+    batch_cmd.add_argument(
+        "--prefix", default="",
+        help="only run registry programs whose name starts with this",
+    )
+    batch_cmd.add_argument(
+        "--moments", type=int, default=None,
+        help="override the registered moment order",
+    )
+    batch_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="number of concurrent analyses (default: min(8, #programs))",
+    )
+    _add_backend_flag(batch_cmd)
     return parser
 
 
-def run(argv: list[str] | None = None, out=sys.stdout) -> int:
-    args = build_parser().parse_args(argv)
+def _run_analyze(args, out) -> int:
     if args.file == "-":
         source = sys.stdin.read()
     else:
@@ -85,6 +116,7 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
         template_degree=args.degree,
         degree_cap=args.degree_cap,
         objective_valuations=valuations,
+        backend=args.backend,
     )
     result = analyze(program, options)
     print(result.summary(), file=out)
@@ -104,6 +136,59 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
             file=out,
         )
     return 0
+
+
+def _run_batch(args, out) -> int:
+    from repro.programs import registry
+
+    workload = {}
+    for name, bench in sorted(registry.all_benchmarks().items()):
+        if not name.startswith(args.prefix):
+            continue
+        options = AnalysisOptions(
+            moment_degree=args.moments or bench.moment_degree,
+            template_degree=bench.template_degree,
+            degree_cap=bench.degree_cap,
+            objective_valuations=(bench.valuation,) + tuple(bench.extra_valuations),
+            backend=args.backend,
+        )
+        workload[name] = (registry.parsed(name), options)
+    if not workload:
+        print(f"no registry programs match prefix {args.prefix!r}", file=out)
+        return 1
+
+    start = time.perf_counter()
+    results = analyze_many(workload, jobs=args.jobs)
+    elapsed = time.perf_counter() - start
+
+    width = max(len(name) for name in results)
+    print(
+        f"{'program':<{width}} {'E[C] interval':>26} {'V[C] hi':>12} "
+        f"{'LP vars':>8} {'time (s)':>9}",
+        file=out,
+    )
+    for name, result in results.items():
+        interval = result.raw_interval(1)
+        line = f"{name:<{width}} [{interval.lo:>11.4g}, {interval.hi:>11.4g}]"
+        if result.raw.degree >= 2:
+            line += f" {result.variance().hi:>12.4g}"
+        else:
+            line += f" {'-':>12}"
+        line += f" {result.lp_variables:>8} {result.solve_seconds:>9.3f}"
+        print(line, file=out)
+    print(
+        f"{len(results)} programs in {elapsed:.2f}s "
+        f"(jobs={args.jobs or min(8, len(workload))})",
+        file=out,
+    )
+    return 0
+
+
+def run(argv: list[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "batch":
+        return _run_batch(args, out)
+    return _run_analyze(args, out)
 
 
 def main() -> None:

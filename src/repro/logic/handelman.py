@@ -17,8 +17,9 @@ from __future__ import annotations
 import itertools
 
 from repro.logic.context import Context
-from repro.lp.affine import AffForm
+from repro.lp.affine import AffBuilder
 from repro.lp.problem import LPProblem
+from repro.poly.monomial import Monomial
 from repro.poly.polynomial import Polynomial
 
 #: Safety valve: contexts are small (a handful of constraints), but product
@@ -58,32 +59,41 @@ def emit_nonneg_certificate(
     poly: Polynomial,
     degree: int,
     label: str = "cert",
+    minus: Polynomial | None = None,
 ) -> None:
-    """Constrain ``poly >= 0`` to hold under ``ctx`` (sufficient condition).
+    """Constrain ``poly - minus >= 0`` to hold under ``ctx`` (sufficient).
 
-    Emits ``poly == Σ_j λ_j prod_j`` with fresh ``λ_j >= 0`` into ``lp``.
-    A bottom context makes the requirement vacuous.
+    Emits ``poly - minus == Σ_j λ_j prod_j`` with fresh ``λ_j >= 0`` into
+    ``lp``.  A bottom context makes the requirement vacuous, as does a target
+    that cancels to zero (``minus`` lets callers certify a difference without
+    materializing it as a polynomial first).
+
+    All coefficient matching goes through :class:`AffBuilder` accumulators —
+    one per monomial — instead of repeated immutable polynomial sums; with
+    hundreds of certificate products per containment this is the difference
+    between linear and quadratic assembly cost.
     """
-    if ctx.bottom or poly.is_zero():
+    if ctx.bottom:
         return
-    if poly.is_constant() and poly.is_concrete():
-        if float(poly.constant_value()) < -1e-9:
-            raise ValueError(f"constant certificate target {poly!r} is negative")
+    target: dict[Monomial, AffBuilder] = {}
+    for mono, coeff in poly.coeffs.items():
+        target.setdefault(mono, AffBuilder()).add(coeff)
+    if minus is not None:
+        for mono, coeff in minus.coeffs.items():
+            target.setdefault(mono, AffBuilder()).add(coeff, scale=-1.0)
+    target = {m: b for m, b in target.items() if not b.is_zero()}
+    if not target:
         return
-    cert_degree = max(degree, poly.degree())
+    if all(m.is_unit() and b.is_constant() for m, b in target.items()):
+        const = sum(b.const for b in target.values())
+        if const < -1e-9:
+            raise ValueError(f"constant certificate target {const!r} is negative")
+        return
+    cert_degree = max(degree, max(m.degree for m in target))
     products = certificate_products(ctx, cert_degree)
-    combination = Polynomial.zero()
     for j, prod in enumerate(products):
         lam = lp.fresh_nonneg(f"{label}.λ{j}")
-        combination = combination + prod.map_coefficients(
-            lambda c, lam=lam: AffForm.of_var(lam, float(c))
-        )
-    difference = poly - combination
-    for mono, coeff in difference.coeffs.items():
-        lp.add_eq(_as_aff(coeff), note=f"{label}[{mono!r}]")
-
-
-def _as_aff(coeff) -> AffForm:
-    if isinstance(coeff, AffForm):
-        return coeff
-    return AffForm.constant(float(coeff))
+        for mono, c in prod.coeffs.items():
+            target.setdefault(mono, AffBuilder()).add_var(lam, -float(c))
+    for mono, builder in target.items():
+        lp.add_eq(builder, note=f"{label}[{mono!r}]")

@@ -1,55 +1,46 @@
-"""Linear-program assembly and solving (HiGHS via scipy).
+"""Linear-program assembly and solving.
 
 The derivation system emits (a) equalities between affine forms — polynomial
 coefficient matching — and (b) sign constraints on certificate multipliers.
 The objective minimizes the imprecision of the main pre-annotation evaluated
 at user-supplied concrete valuations (section 3.4, "Solving linear
 constraints").
+
+:class:`LPProblem` is a thin façade: it owns the variable pool, performs the
+constant-row feasibility checks at emission time, and keeps the ``note``
+annotations used for infeasibility diagnostics.  Row storage and solving are
+delegated to a pluggable backend (:mod:`repro.lp.backends`) — by default the
+incremental warm-started HiGHS backend; ``backend="dense"`` selects the
+legacy rebuild-per-solve scipy path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
+from repro.lp.affine import AffBuilder, AffForm, LinVar, VarPool
+from repro.lp.backends import Checkpoint, LPBackend, get_backend
+from repro.lp.backends.base import EQ, GE
+from repro.lp.core import LPError, LPInfeasibleError, LPSolution
 
-from repro.lp.affine import AffForm, LinVar, VarPool
+__all__ = [
+    "LPError",
+    "LPInfeasibleError",
+    "LPProblem",
+    "LPSolution",
+]
 
-
-class LPError(Exception):
-    pass
-
-
-class LPInfeasibleError(LPError):
-    """No potential annotation of the requested shape exists.
-
-    Raising the template degree, adding loop invariants / pre-conditions, or
-    lowering the target moment degree are the standard remedies.
-    """
-
-
-@dataclass
-class LPSolution:
-    values: np.ndarray
-    objective: float
-    status: str
-
-    def value_of(self, var: LinVar) -> float:
-        return float(self.values[var.index])
-
-    def assignment(self) -> np.ndarray:
-        return self.values
+#: How many note labels the infeasibility diagnostics mention per row kind.
+_DIAGNOSTIC_NOTES = 6
 
 
 @dataclass
 class LPProblem:
     pool: VarPool = field(default_factory=VarPool)
-    _eq_rows: list[AffForm] = field(default_factory=list)
-    _ge_rows: list[AffForm] = field(default_factory=list)
+    backend: LPBackend = field(default_factory=get_backend)
     _nonneg: set[int] = field(default_factory=set)
-    _notes: dict[int, str] = field(default_factory=dict)
+    _eq_notes: dict[int, str] = field(default_factory=dict)
+    _ge_notes: dict[int, str] = field(default_factory=dict)
 
     # -- variables -------------------------------------------------------------
 
@@ -61,9 +52,13 @@ class LPProblem:
         self._nonneg.add(var.index)
         return var
 
+    @property
+    def nonneg_indices(self) -> set[int]:
+        return self._nonneg
+
     # -- constraints -------------------------------------------------------------
 
-    def add_eq(self, form: AffForm, note: str = "") -> None:
+    def add_eq(self, form: AffForm | AffBuilder, note: str = "") -> None:
         """Require ``form == 0``."""
         if form.is_constant():
             if abs(form.const) > 1e-9:
@@ -72,11 +67,11 @@ class LPProblem:
                     + (f" ({note})" if note else "")
                 )
             return
+        row = self.backend.add_row(EQ, form.terms.items(), form.const)
         if note:
-            self._notes[len(self._eq_rows)] = note
-        self._eq_rows.append(form)
+            self._eq_notes[row] = note
 
-    def add_ge(self, form: AffForm, note: str = "") -> None:
+    def add_ge(self, form: AffForm | AffBuilder, note: str = "") -> None:
         """Require ``form >= 0``."""
         if form.is_constant():
             if form.const < -1e-9:
@@ -85,10 +80,17 @@ class LPProblem:
                     + (f" ({note})" if note else "")
                 )
             return
-        self._ge_rows.append(form)
+        row = self.backend.add_row(GE, form.terms.items(), form.const)
+        if note:
+            self._ge_notes[row] = note
 
-    def add_le(self, form: AffForm, note: str = "") -> None:
-        self.add_ge(-form, note)
+    def add_le(self, form: AffForm | AffBuilder, note: str = "") -> None:
+        if isinstance(form, AffBuilder):
+            # Negate a copy — the caller's builder must stay usable.
+            form = AffBuilder(dict(form.terms), form.const).negate()
+            self.add_ge(form, note)
+        else:
+            self.add_ge(-form, note)
 
     @property
     def num_variables(self) -> int:
@@ -96,25 +98,59 @@ class LPProblem:
 
     @property
     def num_constraints(self) -> int:
-        return len(self._eq_rows) + len(self._ge_rows)
+        return self.backend.num_rows(EQ) + self.backend.num_rows(GE)
+
+    # -- checkpoints ----------------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the row counts; see :meth:`rollback`."""
+        return self.backend.checkpoint()
+
+    def rollback(self, checkpoint: Checkpoint) -> None:
+        """Drop every constraint added after ``checkpoint``.
+
+        Used by the pipeline to undo lexicographic stage cuts so a cached
+        constraint system can be re-solved under different objectives.
+        Variables are never rolled back — cuts add only rows.
+        """
+        self.backend.rollback(checkpoint)
+        for notes, keep in (
+            (self._eq_notes, checkpoint.eq),
+            (self._ge_notes, checkpoint.ge),
+        ):
+            for row in [r for r in notes if r >= keep]:
+                del notes[row]
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def infeasibility_diagnostics(self) -> str:
+        """Summarize the noted constraint groups for error messages.
+
+        The LP has no cheap way to name the *offending* rows, but the note
+        labels carry the derivation-side provenance (certificate labels,
+        polynomial monomials), which is what one needs to locate the
+        modelling problem.
+        """
+        lines = [
+            f"system: {self.num_variables} variables, "
+            f"{self.backend.num_rows(EQ)} equalities, "
+            f"{self.backend.num_rows(GE)} inequalities"
+        ]
+        for kind, notes in (("eq", self._eq_notes), ("ge", self._ge_notes)):
+            if not notes:
+                continue
+            groups: dict[str, int] = {}
+            for note in notes.values():
+                groups[note.split("[", 1)[0]] = groups.get(note.split("[", 1)[0], 0) + 1
+            sample = sorted(groups.items(), key=lambda kv: -kv[1])[:_DIAGNOSTIC_NOTES]
+            shown = ", ".join(f"{label} ({count})" for label, count in sample)
+            more = len(groups) - len(sample)
+            lines.append(
+                f"noted {kind} groups: {shown}" + (f", +{more} more" if more else "")
+            )
+        return "\n".join(lines)
 
     # -- solving ----------------------------------------------------------------------
-
-    def _matrix(self, rows: list[AffForm]) -> tuple[sparse.csr_matrix, np.ndarray]:
-        data: list[float] = []
-        row_idx: list[int] = []
-        col_idx: list[int] = []
-        rhs = np.zeros(len(rows))
-        for r, form in enumerate(rows):
-            rhs[r] = -form.const
-            for idx, coeff in form.terms.items():
-                row_idx.append(r)
-                col_idx.append(idx)
-                data.append(coeff)
-        mat = sparse.csr_matrix(
-            (data, (row_idx, col_idx)), shape=(len(rows), len(self.pool))
-        )
-        return mat, rhs
 
     def solve(
         self,
@@ -135,64 +171,11 @@ class LPProblem:
         occasionally drives HiGHS to give up; preferring small certificates
         breaks the ties at negligible cost to the optimum.
         """
-        n = len(self.pool)
-        if n == 0:
-            return LPSolution(np.zeros(0), 0.0, "optimal")
-
-        base_cost = np.zeros(n)
-        const_term = 0.0
+        terms = None
+        const = 0.0
         if objective is not None:
-            const_term = objective.const
-            for idx, coeff in objective.terms.items():
-                base_cost[idx] = coeff if minimize else -coeff
-
-        a_eq, b_eq = self._matrix(self._eq_rows)
-        kwargs = {}
-        if self._ge_rows:
-            a_ge, b_ge = self._matrix(self._ge_rows)
-            kwargs["A_ub"] = -a_ge
-            kwargs["b_ub"] = -b_ge
-
-        # HiGHS occasionally reports "unknown" on the massively degenerate
-        # optimal faces these certificate systems have.  The cascade tries:
-        # the plain problem with each HiGHS variant, then a tiny ridge on
-        # the certificate multipliers (ties broken toward small
-        # certificates), then tighter variable boxes.
-        attempts = [
-            (0.0, bound, "highs"),
-            (0.0, bound, "highs-ds"),
-            (regularization, bound, "highs"),
-            (regularization, min(bound, 1e9), "highs"),
-            (100 * regularization, min(bound, 1e8), "highs"),
-            (0.0, bound, "highs-ipm"),
-        ]
-        result = None
-        for reg, box, method in attempts:
-            cost = base_cost.copy()
-            if reg and objective is not None:
-                for idx in self._nonneg:
-                    cost[idx] += reg
-            bounds = [
-                (0.0, box) if i in self._nonneg else (-box, box) for i in range(n)
-            ]
-            result = linprog(
-                cost,
-                A_eq=a_eq if len(self._eq_rows) else None,
-                b_eq=b_eq if len(self._eq_rows) else None,
-                bounds=bounds,
-                method=method,
-                **kwargs,
-            )
-            if result.status == 2 and box == bound:
-                raise LPInfeasibleError(
-                    "LP infeasible: no potential annotation of this shape exists "
-                    "(try a higher polynomial degree or stronger invariants)"
-                )
-            if result.success:
-                break
-        if not result.success:
-            raise LPError(f"LP solver failed: {result.message}")
-        value = float(result.fun) + (const_term if minimize else -const_term)
-        if not minimize:
-            value = -value
-        return LPSolution(np.asarray(result.x), value, "optimal")
+            terms = objective.terms
+            const = objective.const
+        return self.backend.solve(
+            self, terms, const, minimize, bound, regularization
+        )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lp.affine import AffForm, VarPool
+from repro.lp.affine import AffBuilder, AffForm, VarPool
 
 
 @pytest.fixture()
@@ -24,7 +24,14 @@ class TestVarPool:
 
     def test_variables_listing(self, pool):
         created = [pool.fresh(f"v{i}") for i in range(5)]
-        assert pool.variables == created
+        assert list(pool.variables) == created
+
+    def test_variables_view_is_cached_and_invalidated(self, pool):
+        pool.fresh("a")
+        first = pool.variables
+        assert pool.variables is first  # no copy per access
+        b = pool.fresh("b")
+        assert list(pool.variables) == [first[0], b]
 
 
 class TestAffForm:
@@ -99,3 +106,68 @@ class TestAffForm:
         v = pool.fresh("v")
         forms = {AffForm.of_var(v), AffForm.of_var(v), AffForm.constant(1.0)}
         assert len(forms) == 2
+
+    def test_hash_consistent_with_numeric_equality(self):
+        # ``AffForm.constant(2.0) == 2`` holds, so the hashes must agree
+        # (the dict/set contract); this used to be violated.
+        assert hash(AffForm.constant(2.0)) == hash(2.0) == hash(2)
+        assert len({AffForm.constant(2.0), 2.0, 2}) == 1
+        assert {AffForm.constant(3.0): "a"}[3] == "a"
+
+
+class TestAffBuilder:
+    def test_iadd_isub_accumulation(self, pool):
+        a, b = pool.fresh("a"), pool.fresh("b")
+        builder = AffBuilder()
+        builder += AffForm.of_var(a, 2.0)
+        builder += AffForm.of_var(b) + 1.0
+        builder -= AffForm.of_var(a)
+        builder += 3
+        form = builder.to_form()
+        assert form.terms == {a.index: 1.0, b.index: 1.0}
+        assert form.const == 4.0
+
+    def test_cancellation_drops_terms(self, pool):
+        v = pool.fresh("v")
+        builder = AffBuilder()
+        builder += AffForm.of_var(v)
+        builder -= AffForm.of_var(v)
+        assert builder.is_zero()
+        assert builder.to_form().terms == {}
+
+    def test_add_with_scale(self, pool):
+        v = pool.fresh("v")
+        builder = AffBuilder()
+        builder.add(AffForm.of_var(v) + 2.0, scale=-3.0)
+        form = builder.to_form()
+        assert form.terms == {v.index: -3.0}
+        assert form.const == -6.0
+
+    def test_add_var_and_const(self, pool):
+        v = pool.fresh("v")
+        builder = AffBuilder().add_var(v, 2.0).add_var(v.index, -2.0).add_const(5.0)
+        assert builder.is_constant()
+        assert builder.const == 5.0
+
+    def test_accumulates_other_builders(self, pool):
+        v = pool.fresh("v")
+        one = AffBuilder().add_var(v, 1.0)
+        two = AffBuilder().add_var(v, 2.0).add_const(1.0)
+        one += two
+        assert one.to_form() == AffForm.of_var(v, 3.0) + 1.0
+
+    def test_negate_in_place(self, pool):
+        v = pool.fresh("v")
+        builder = AffBuilder().add_var(v, 2.0).add_const(-1.0)
+        builder.negate()
+        assert builder.to_form() == AffForm.of_var(v, -2.0) + 1.0
+
+    def test_matches_equivalent_affform_chain(self, pool):
+        vs = [pool.fresh(f"v{i}") for i in range(20)]
+        chained = AffForm.constant(0.0)
+        builder = AffBuilder()
+        for i, v in enumerate(vs):
+            term = AffForm.of_var(v, float(i - 10)) + 0.5
+            chained = chained + term
+            builder += term
+        assert builder.to_form() == chained

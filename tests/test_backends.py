@@ -1,0 +1,195 @@
+"""Backend parity and incremental-assembly regression tests.
+
+The two LP backends must be observably interchangeable: identical optimal
+objective values on every registry program (the solutions themselves may
+differ on degenerate optimal faces — that is allowed).  The incremental
+backend must additionally *append* lexicographic stage cuts to its
+persistent model instead of rebuilding it per stage.
+"""
+
+import math
+
+import pytest
+
+from repro import AnalysisOptions, AnalysisPipeline, analyze
+from repro.lp.affine import AffBuilder, AffForm
+from repro.lp.backends import (
+    IncrementalBackend,
+    ScipyDenseBackend,
+    available_backends,
+    get_backend,
+    highs_available,
+)
+from repro.lp.problem import LPInfeasibleError, LPProblem
+from repro.programs import registry
+
+
+def registry_names():
+    return sorted(registry.all_benchmarks())
+
+
+def bench_options(name: str, backend: str) -> AnalysisOptions:
+    bench = registry.get(name)
+    return AnalysisOptions(
+        moment_degree=2,
+        template_degree=bench.template_degree,
+        degree_cap=bench.degree_cap,
+        objective_valuations=(bench.valuation,) + tuple(bench.extra_valuations),
+        backend=backend,
+    )
+
+
+class TestRegistryParity:
+    @pytest.mark.parametrize("name", registry_names())
+    def test_objectives_match_across_backends(self, name):
+        """Stage optima agree to 1e-6 in the objective's own units.
+
+        The stage objective is normalized by ``scale`` before it reaches the
+        solver, so the solver's tolerance lives at ``1e-6 * scale``; the
+        recorded ``objective_scales`` recover that unit.  Stages after the
+        first additionally sit on the previous stages' cut bands (each cut
+        pins the prior optimum only up to a 1e-5 margin, and the solvers may
+        land anywhere inside the band), so their tolerance widens by 2e-5
+        per preceding stage.  Where the *dense* cascade had to degrade
+        (regularization / tighter boxes — recorded in ``solver_statuses``)
+        its optimum is only an upper estimate, and the incremental backend
+        is allowed to do strictly better, never worse.
+        """
+        dense = analyze(registry.parsed(name), bench_options(name, "dense"))
+        incr = analyze(registry.parsed(name), bench_options(name, "incremental"))
+        assert len(dense.objective_values) == len(incr.objective_values)
+        for stage, (a, b) in enumerate(
+            zip(dense.objective_values, incr.objective_values)
+        ):
+            scale = max(
+                dense.objective_scales[stage], incr.objective_scales[stage], 1.0
+            )
+            tol = (1e-6 + stage * 2e-5) * max(abs(a), abs(b), scale)
+            plain = (
+                dense.solver_statuses[stage] in ("optimal", "constant")
+                and incr.solver_statuses[stage] in ("optimal", "constant")
+            )
+            if plain:
+                assert math.isclose(a, b, rel_tol=1e-6, abs_tol=tol), (
+                    f"{name} stage {stage}: dense={a!r} incremental={b!r}"
+                )
+            else:
+                assert b <= a + tol, (
+                    f"{name} stage {stage}: incremental={b!r} worse than "
+                    f"degraded dense={a!r} ({dense.solver_statuses[stage]})"
+                )
+
+    @pytest.mark.parametrize("name", ["rdwalk", "geo", "kura-1-1"])
+    def test_first_moment_bounds_match(self, name):
+        dense = analyze(registry.parsed(name), bench_options(name, "dense"))
+        incr = analyze(registry.parsed(name), bench_options(name, "incremental"))
+        d, i = dense.raw_interval(1), incr.raw_interval(1)
+        assert d.hi == pytest.approx(i.hi, rel=1e-6, abs=1e-6)
+        assert d.lo == pytest.approx(i.lo, rel=1e-6, abs=1e-6)
+
+
+class TestIncrementalAssembly:
+    def test_lexicographic_cuts_are_appended_not_rebuilt(self):
+        """The regression this backend exists for: across the lexicographic
+        stages of one analysis, the HiGHS model is built exactly once and
+        each stage cut arrives via addRows on the persistent model."""
+        pipe = AnalysisPipeline(registry.parsed("rdwalk"))
+        options = AnalysisOptions(moment_degree=3, backend="incremental")
+        pipe.analyze(options)
+        stats = pipe.constraint_system(options).lp.backend.stats
+        assert stats.solves == 3  # one per moment stage
+        assert stats.model_builds == 1
+        # m-1 = 2 cut rows pinned previous stage optima.
+        assert stats.rows_appended == 2
+        assert stats.fallbacks == 0
+
+    def test_dense_backend_rebuilds_per_stage(self):
+        pipe = AnalysisPipeline(registry.parsed("rdwalk"))
+        options = AnalysisOptions(moment_degree=3, backend="dense")
+        pipe.analyze(options)
+        stats = pipe.constraint_system(options).lp.backend.stats
+        assert stats.model_builds == stats.solves == 3
+
+    def test_checkpoint_rollback_restores_row_counts(self):
+        lp = LPProblem(backend=IncrementalBackend())
+        x = lp.fresh("x")
+        lp.add_ge(AffForm.of_var(x) - 3.0)
+        cp = lp.checkpoint()
+        first = lp.solve(AffForm.of_var(x))
+        assert first.objective == pytest.approx(3.0)
+        lp.add_ge(AffForm.of_var(x) - 10.0)
+        assert lp.solve(AffForm.of_var(x)).objective == pytest.approx(10.0)
+        lp.rollback(cp)
+        assert lp.num_constraints == 1
+        assert lp.solve(AffForm.of_var(x)).objective == pytest.approx(3.0)
+
+    def test_solve_after_adding_variables_rebuilds(self):
+        lp = LPProblem(backend=IncrementalBackend())
+        x = lp.fresh("x")
+        lp.add_ge(AffForm.of_var(x) - 1.0)
+        assert lp.solve(AffForm.of_var(x)).objective == pytest.approx(1.0)
+        y = lp.fresh("y")
+        lp.add_ge(AffForm.of_var(y) - 5.0)
+        assert lp.solve(
+            AffForm.of_var(x) + AffForm.of_var(y)
+        ).objective == pytest.approx(6.0)
+        assert lp.backend.stats.model_builds == 2
+
+    def test_builder_rows_accepted(self):
+        lp = LPProblem(backend=IncrementalBackend())
+        x, y = lp.fresh("x"), lp.fresh("y")
+        builder = AffBuilder()
+        builder += AffForm.of_var(x)
+        builder += AffForm.of_var(y)
+        builder -= 4.0
+        lp.add_eq(builder)
+        eq2 = AffBuilder().add_var(x).add_var(y, -1.0)
+        lp.add_eq(eq2.to_form())
+        solution = lp.solve(AffForm.of_var(x))
+        assert solution.value_of(x) == pytest.approx(2.0)
+        assert solution.value_of(y) == pytest.approx(2.0)
+
+
+class TestBackendRegistry:
+    def test_default_is_incremental_when_highs_present(self):
+        backend = get_backend()
+        if highs_available():
+            assert isinstance(backend, IncrementalBackend)
+        else:  # pragma: no cover - scipy without bundled highspy
+            assert isinstance(backend, ScipyDenseBackend)
+
+    def test_aliases_and_unknown_names(self):
+        assert isinstance(get_backend("dense"), ScipyDenseBackend)
+        assert isinstance(get_backend("scipy-dense"), ScipyDenseBackend)
+        assert "incremental" in available_backends()
+        with pytest.raises(ValueError, match="unknown LP backend"):
+            get_backend("simplex-by-hand")
+
+
+class TestInfeasibilityDiagnostics:
+    def test_ge_constant_contradiction_surfaces_note(self):
+        lp = LPProblem()
+        with pytest.raises(LPInfeasibleError, match="loop.inv"):
+            lp.add_ge(AffForm.constant(-1.0), note="loop.inv")
+
+    @pytest.mark.parametrize("backend", ["dense", "incremental"])
+    def test_solver_infeasibility_reports_noted_groups(self, backend):
+        lp = LPProblem(backend=get_backend(backend))
+        x = lp.fresh("x")
+        lp.add_ge(AffForm.of_var(x) - 3.0, note="lower.bound[x]")
+        lp.add_le(AffForm.of_var(x) - 2.0, note="upper.bound[x]")
+        with pytest.raises(LPInfeasibleError) as excinfo:
+            lp.solve(AffForm.of_var(x))
+        assert "upper.bound" in excinfo.value.diagnostics
+        assert "lower.bound" in excinfo.value.diagnostics
+        assert "1 variables" in excinfo.value.diagnostics
+
+    def test_notes_are_rolled_back_with_rows(self):
+        lp = LPProblem()
+        x = lp.fresh("x")
+        lp.add_ge(AffForm.of_var(x) - 1.0, note="keep")
+        cp = lp.checkpoint()
+        lp.add_ge(AffForm.of_var(x) - 2.0, note="drop")
+        lp.rollback(cp)
+        assert "drop" not in lp.infeasibility_diagnostics()
+        assert "keep" in lp.infeasibility_diagnostics()
