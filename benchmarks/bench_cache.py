@@ -1,0 +1,118 @@
+"""Cold vs. warm analysis through the content-addressed artifact cache.
+
+The fig10 scalability workload (coupon chains, chained random walks) is
+analyzed twice against one disk cache directory:
+
+* **cold** — empty cache: every stage is derived and solved, artifacts are
+  written;
+* **warm** — a *new session*: freshly parsed programs, fresh
+  :class:`~repro.service.cache.ArtifactCache` instances with empty memory
+  LRUs, so every hit must come from disk, exactly as a second process or a
+  restarted ``repro serve`` would see it.
+
+The numbers go to ``BENCH_cache.json`` at the repo root (uploaded as a CI
+artifact next to the LP-assembly record).  Acceptance: warm re-analysis of
+the whole workload is at least 3x faster than cold.
+"""
+
+import json
+import pathlib
+import tempfile
+import time
+
+from _harness import emit
+from repro import AnalysisOptions, AnalysisPipeline, ArtifactCache
+from repro.programs.synthetic import coupon_chain, rdwalk_chain
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_cache.json"
+
+WORKLOAD = {
+    "coupon_chain(4)": lambda: coupon_chain(4),
+    "coupon_chain(8)": lambda: coupon_chain(8),
+    "coupon_chain(16)": lambda: coupon_chain(16),
+    "rdwalk_chain(2)": lambda: rdwalk_chain(2),
+}
+
+MOMENT_DEGREE = 4
+SPEEDUP_FLOOR = 3.0
+
+
+def _run_workload(cache_dir: str) -> dict[str, float]:
+    """One full pass; a fresh ArtifactCache per program mimics separate
+    sessions sharing the directory (no in-memory carry-over)."""
+    times = {}
+    for name, make in WORKLOAD.items():
+        program = make()
+        cache = ArtifactCache(cache_dir)
+        start = time.perf_counter()
+        AnalysisPipeline(program, artifacts=cache).analyze(
+            AnalysisOptions(moment_degree=MOMENT_DEGREE)
+        )
+        times[name] = time.perf_counter() - start
+    return times
+
+
+def test_cache_cold_vs_warm(benchmark):
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = benchmark.pedantic(
+            lambda: _run_workload(cache_dir), rounds=1, iterations=1
+        )
+        warm = _run_workload(cache_dir)
+
+    cold_total = sum(cold.values())
+    warm_total = sum(warm.values())
+    speedup = cold_total / warm_total if warm_total else float("inf")
+
+    lines = [
+        f"artifact-cache benchmark ({MOMENT_DEGREE}th-moment fig10 workload)",
+        f"{'case':>18} {'cold (s)':>9} {'warm (s)':>9} {'speedup':>8}",
+    ]
+    for name in WORKLOAD:
+        ratio = cold[name] / warm[name] if warm[name] else float("inf")
+        lines.append(
+            f"{name:>18} {cold[name]:>9.3f} {warm[name]:>9.3f} {ratio:>7.1f}x"
+        )
+    lines.append(
+        f"{'total':>18} {cold_total:>9.3f} {warm_total:>9.3f} {speedup:>7.1f}x"
+    )
+    emit("cache_cold_warm", lines)
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "workload": f"fig10 programs at moment degree {MOMENT_DEGREE}",
+                "cold_seconds": {k: round(v, 4) for k, v in cold.items()},
+                "warm_seconds": {k: round(v, 4) for k, v in warm.items()},
+                "cold_total_seconds": round(cold_total, 4),
+                "warm_total_seconds": round(warm_total, 4),
+                "warm_speedup": round(speedup, 2),
+                "speedup_floor": SPEEDUP_FLOOR,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"disk-cache-hit re-analysis only {speedup:.1f}x faster than cold "
+        f"(cold {cold_total:.3f}s, warm {warm_total:.3f}s); floor is "
+        f"{SPEEDUP_FLOOR}x"
+    )
+
+
+def test_cache_hits_come_from_disk():
+    """The warm pass must be *disk* hits (fresh memory LRU), and results
+    must be the very artifacts the cold pass produced."""
+    with tempfile.TemporaryDirectory() as cache_dir:
+        program = coupon_chain(4)
+        cold_cache = ArtifactCache(cache_dir)
+        cold = AnalysisPipeline(program, artifacts=cold_cache).analyze(
+            AnalysisOptions(moment_degree=MOMENT_DEGREE)
+        )
+        warm_cache = ArtifactCache(cache_dir)
+        warm = AnalysisPipeline(coupon_chain(4), artifacts=warm_cache).analyze(
+            AnalysisOptions(moment_degree=MOMENT_DEGREE)
+        )
+        assert warm_cache.stats.disk_hits >= 1
+        assert warm_cache.stats.misses == 0
+        assert warm.summary() == cold.summary()

@@ -1,0 +1,68 @@
+"""Benchmark regression gate: fail CI when a fresh record is too slow.
+
+Compares one numeric key of a freshly produced ``BENCH_*.json`` against the
+committed baseline and exits non-zero when the fresh value exceeds the
+baseline by more than ``--threshold`` (a slowdown; getting faster never
+fails).  Usage in CI::
+
+    git show HEAD:BENCH_lp_assembly.json > baseline.json   # committed record
+    pytest benchmarks/bench_lp_assembly.py                 # writes the fresh one
+    python benchmarks/check_regression.py baseline.json BENCH_lp_assembly.json \
+        --key incremental_total_seconds --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed benchmark record (JSON)")
+    parser.add_argument("fresh", help="freshly produced benchmark record (JSON)")
+    parser.add_argument(
+        "--key", default="incremental_total_seconds",
+        help="numeric field to compare (default: total wall time of the "
+        "incremental backend)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum tolerated relative slowdown (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    try:
+        base_value = float(baseline[args.key])
+        fresh_value = float(fresh[args.key])
+    except KeyError as missing:
+        print(f"regression gate: key {missing} absent from a record", file=sys.stderr)
+        return 2
+    if base_value <= 0:
+        print(f"regression gate: baseline {args.key} is {base_value}; skipping")
+        return 0
+
+    change = fresh_value / base_value - 1.0
+    verdict = "slower" if change > 0 else "faster"
+    print(
+        f"regression gate: {args.key} baseline {base_value:.3f}s -> fresh "
+        f"{fresh_value:.3f}s ({abs(change):.1%} {verdict}; threshold "
+        f"{args.threshold:.0%})"
+    )
+    if change > args.threshold:
+        print(
+            f"FAIL: {args.key} regressed beyond the {args.threshold:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ from repro.lang.parser import parse_program
 from repro.lp.problem import LPError, LPInfeasibleError
 from repro.rings.interval import Interval
 from repro.rings.moment import MomentVector, raw_to_central, variance_interval
+from repro.service import ArtifactCache, BatchReport, run_batch
 from repro.soundness.checker import SoundnessReport, check_soundness
 from repro.tail.bounds import (
     best_upper_tail,
@@ -58,6 +59,8 @@ __all__ = [
     "AnalysisError",
     "AnalysisOptions",
     "AnalysisPipeline",
+    "ArtifactCache",
+    "BatchReport",
     "CostStatistics",
     "Interval",
     "LPError",
@@ -76,6 +79,7 @@ __all__ = [
     "markov_tail",
     "parse_program",
     "raw_to_central",
+    "run_batch",
     "simulate_costs",
     "tail_curve",
     "variance_interval",

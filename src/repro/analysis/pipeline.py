@@ -29,10 +29,10 @@ workload of programs concurrently via :mod:`concurrent.futures`.
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 import numpy as np
 from scipy.optimize import linprog
@@ -53,6 +53,9 @@ from repro.lp.affine import AffForm
 from repro.lp.backends import get_backend
 from repro.lp.core import LPSolution
 from repro.lp.problem import LPProblem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.service.cache import ArtifactCache
 
 
 @dataclass(frozen=True)
@@ -100,10 +103,20 @@ class AnalysisOptions:
         frozen = tuple(tuple(sorted(v.items())) for v in valuations)
         return self.derivation_key() + (frozen, self.lexicographic, self.lp_bound)
 
+    def result_key(self, valuations: list[dict[str, float]]) -> tuple:
+        """The options a final :class:`MomentBoundResult` depends on."""
+        return self.solve_key(valuations) + (self.check_soundness,)
+
 
 @dataclass
 class ConstraintSystem:
-    """Stage-3 artifact: the derived LP plus the templates that feed it."""
+    """Stage-3 artifact: the derived LP plus the templates that feed it.
+
+    The artifact is picklable (the backend drops its native solver handle on
+    serialization and rebuilds lazily) and may be shared between pipelines
+    through an :class:`~repro.service.cache.ArtifactCache`; ``solve_lock``
+    serializes the solve/rollback critical section on the shared ``lp``.
+    """
 
     key: tuple
     lp: LPProblem
@@ -111,6 +124,23 @@ class ConstraintSystem:
     main_pre: MomentAnnotation
     called: list[str]
     derive_seconds: float
+    #: Pristine sizes captured at derivation time.  ``lp`` itself briefly
+    #: carries lexicographic cut rows inside the (locked) solve window, so
+    #: reporting code must use these instead of the live counts.
+    num_variables: int = 0
+    num_constraints: int = 0
+
+    def __post_init__(self) -> None:
+        self.solve_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("solve_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.solve_lock = threading.Lock()
 
 
 @dataclass
@@ -146,29 +176,73 @@ class AnalysisPipeline:
             moment_degree=2, objective_valuations=({"d": 50},)))
         # raise the degree: static + context stages are reused
         r3 = pipe.analyze(AnalysisOptions(moment_degree=4))
+
+    With an ``artifacts`` store (:class:`repro.service.cache.ArtifactCache`)
+    the same reuse extends *across pipelines, processes, and sessions*:
+    every stage consults the content-addressed store (keyed by the program's
+    canonical text plus the stage's option tuple) before computing, and
+    publishes what it computed.  The per-instance dicts above remain the
+    first-level cache — the store is only consulted on instance misses.
     """
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, artifacts: "ArtifactCache | None" = None):
         self.program = program
+        self.artifacts = artifacts
+        self._program_hash: str | None = None
         self._info: ProgramInfo | None = None
         self._cmap: ContextMap | None = None
         self._systems: dict[tuple, ConstraintSystem] = {}
         self._solutions: dict[tuple, StageSolution] = {}
         self._valuations: dict[tuple | None, list[dict[str, float]]] = {}
+        self._results: dict[tuple, MomentBoundResult] = {}
 
-    # -- stage 1: static facts ----------------------------------------------
+    @property
+    def program_hash(self) -> str:
+        """Content address of the program (SHA-256 of its canonical text)."""
+        if self._program_hash is None:
+            from repro.service.cache import program_key
+
+            self._program_hash = program_key(self.program)
+        return self._program_hash
+
+    def _shared(self, stage: str, options_key: tuple, compute: Callable):
+        """Artifact-store read-through: instance caches sit in front."""
+        if self.artifacts is None:
+            return compute()
+        cached = self.artifacts.get(self.program_hash, stage, options_key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.artifacts.put(self.program_hash, stage, options_key, value)
+        return value
+
+    # -- stages 1+2: static facts and context analysis -----------------------
+    #
+    # AST nodes hash by identity, and ``ContextMap`` attaches contexts *per
+    # node object* — so the static artifacts are only meaningful alongside
+    # the exact AST they were computed from.  They are therefore cached as
+    # one bundle ``(program, info, cmap)``; a pipeline that loads the bundle
+    # re-anchors ``self.program`` onto the bundled AST (same canonical text,
+    # hence the same program) so node identities line up for derivation.
+
+    def _base(self) -> tuple[ProgramInfo, ContextMap]:
+        if self._info is None or self._cmap is None:
+
+            def compute():
+                info = static_info(self.program)
+                return self.program, info, compute_contexts(self.program, info)
+
+            program, info, cmap = self._shared("base", (), compute)
+            self.program = program
+            self._info = info
+            self._cmap = cmap
+        return self._info, self._cmap
 
     def static_info(self) -> ProgramInfo:
-        if self._info is None:
-            self._info = static_info(self.program)
-        return self._info
-
-    # -- stage 2: context analysis ------------------------------------------
+        return self._base()[0]
 
     def context_map(self) -> ContextMap:
-        if self._cmap is None:
-            self._cmap = compute_contexts(self.program, self.static_info())
-        return self._cmap
+        return self._base()[1]
 
     # -- stage 3: constraint derivation -------------------------------------
 
@@ -177,6 +251,13 @@ class AnalysisPipeline:
         cached = self._systems.get(key)
         if cached is not None:
             return cached
+        system = self._shared(
+            "system", key, lambda: self._derive_system(options, key)
+        )
+        self._systems[key] = system
+        return system
+
+    def _derive_system(self, options: AnalysisOptions, key: tuple) -> ConstraintSystem:
         start = time.perf_counter()
         info = self.static_info()
         cmap = self.context_map()
@@ -209,16 +290,16 @@ class AnalysisPipeline:
             deriver.derive_function_specs(self.program, name)
         main_post = MomentAnnotation.one(options.moment_degree)
         main_pre = deriver.derive(self.program.main_fun.body, main_post, level=0)
-        system = ConstraintSystem(
+        return ConstraintSystem(
             key=key,
             lp=lp,
             specs=specs,
             main_pre=main_pre,
             called=called,
             derive_seconds=time.perf_counter() - start,
+            num_variables=lp.num_variables,
+            num_constraints=lp.num_constraints,
         )
-        self._systems[key] = system
-        return system
 
     # -- stage 4: LP solving -------------------------------------------------
 
@@ -233,9 +314,13 @@ class AnalysisPipeline:
             )
         cached = self._valuations.get(vkey)
         if cached is None:
-            cached = _objective_valuations(
-                options, self.context_map().fun_pre[self.program.main],
-                self.static_info().variables,
+            cached = self._shared(
+                "valuations",
+                ("auto",) if vkey is None else vkey,
+                lambda: _objective_valuations(
+                    options, self.context_map().fun_pre[self.program.main],
+                    self.static_info().variables,
+                ),
             )
             self._valuations[vkey] = cached
         return cached
@@ -247,17 +332,33 @@ class AnalysisPipeline:
         cached = self._solutions.get(key)
         if cached is not None:
             return cached
+        staged = self._shared(
+            "solution", key, lambda: self._solve_system(system, valuations, options, key)
+        )
+        self._solutions[key] = staged
+        return staged
+
+    def _solve_system(
+        self,
+        system: ConstraintSystem,
+        valuations: list[dict[str, float]],
+        options: AnalysisOptions,
+        key: tuple,
+    ) -> StageSolution:
         start = time.perf_counter()
-        checkpoint = system.lp.checkpoint()
-        try:
-            solution, objective_values, statuses, scales = _lexicographic_solve(
-                system.lp, system.main_pre, valuations, options
-            )
-        finally:
-            # Drop the stage cuts so the cached system stays re-solvable
-            # under a different objective.
-            system.lp.rollback(checkpoint)
-        staged = StageSolution(
+        # The system may be shared with other pipelines through the artifact
+        # store; the lock serializes the cut/solve/rollback window.
+        with system.solve_lock:
+            checkpoint = system.lp.checkpoint()
+            try:
+                solution, objective_values, statuses, scales = _lexicographic_solve(
+                    system.lp, system.main_pre, valuations, options
+                )
+            finally:
+                # Drop the stage cuts so the cached system stays re-solvable
+                # under a different objective.
+                system.lp.rollback(checkpoint)
+        return StageSolution(
             key=key,
             solution=solution,
             objective_values=objective_values,
@@ -266,14 +367,28 @@ class AnalysisPipeline:
             statuses=statuses,
             scales=scales,
         )
-        self._solutions[key] = staged
-        return staged
 
     # -- stage 5: resolution --------------------------------------------------
 
     def analyze(self, options: AnalysisOptions | None = None) -> MomentBoundResult:
-        """Run all stages (using whatever is cached) and resolve bounds."""
+        """Run all stages (using whatever is cached) and resolve bounds.
+
+        With an artifact store attached the *final result* is cached too
+        (stage ``"result"``), so a fully warm analysis is one content hash
+        plus one store read — and every caller (CLI, server, batch worker)
+        sees the identical result object for identical inputs.
+        """
         options = options or AnalysisOptions()
+        key = options.result_key(self._objective_valuations(options))
+        cached = self._results.get(key)
+        if cached is None:
+            cached = self._shared(
+                "result", key, lambda: self._analyze_uncached(options)
+            )
+            self._results[key] = cached
+        return cached
+
+    def _analyze_uncached(self, options: AnalysisOptions) -> MomentBoundResult:
         start = time.perf_counter()
         system = self.constraint_system(options)
         staged = self.solve(options)
@@ -296,8 +411,8 @@ class AnalysisPipeline:
             solver_statuses=list(staged.statuses),
             objective_scales=list(staged.scales),
             warnings=list(self.context_map().warnings),
-            lp_variables=system.lp.num_variables,
-            lp_constraints=system.lp.num_constraints,
+            lp_variables=system.num_variables,
+            lp_constraints=system.num_constraints,
             solve_seconds=time.perf_counter() - start,
         )
         if options.check_soundness:
@@ -338,31 +453,36 @@ def analyze_many(
     programs: Workload | Iterable[tuple[str, Program]],
     options: AnalysisOptions | None = None,
     jobs: int | None = None,
+    executor: str = "thread",
+    cache: "ArtifactCache | None" = None,
 ) -> dict[str, MomentBoundResult]:
     """Analyze a workload of named programs concurrently.
 
     ``programs`` maps names to a :class:`Program` or a ``(Program,
     AnalysisOptions)`` pair; entries without their own options use
     ``options``.  Results preserve the input order.  Each program gets its
-    own pipeline (and LP backend instance), so runs are independent; with
-    the default thread executor the HiGHS solves overlap while the Python
-    derivation stages interleave.
+    own pipeline (and LP backend instance), so runs are independent.
+
+    This is a thin wrapper over :func:`repro.service.executor.run_batch`:
+    ``executor="thread"`` (default) overlaps the HiGHS solves while the
+    Python derivation stages interleave; ``executor="process"`` shards the
+    workload over a :class:`~concurrent.futures.ProcessPoolExecutor` for
+    multi-core throughput (pass ``cache`` to share derived artifacts
+    through its disk directory).  The first failing program raises, as it
+    always has — use :func:`~repro.service.executor.run_batch` directly for
+    per-program error isolation.
     """
-    if not isinstance(programs, Mapping):
-        programs = dict(programs)
-    defaults = options or AnalysisOptions()
+    from repro.service.executor import run_batch
 
-    def job(entry) -> MomentBoundResult:
-        if isinstance(entry, tuple):
-            program, opts = entry
-        else:
-            program, opts = entry, defaults
-        return analyze(program, opts)
-
-    max_workers = jobs if jobs and jobs > 0 else min(8, len(programs) or 1)
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        futures = {name: pool.submit(job, entry) for name, entry in programs.items()}
-        return {name: future.result() for name, future in futures.items()}
+    report = run_batch(
+        programs, options=options, jobs=jobs, executor=executor, cache=cache
+    )
+    for item in report.items:
+        if not item.ok:
+            if item.exception is not None:
+                raise item.exception
+            raise RuntimeError(f"analysis of {item.name!r} failed: {item.error}")
+    return {item.name: item.result for item in report.items}
 
 
 # ---------------------------------------------------------------------------

@@ -131,6 +131,37 @@ class MomentBoundResult:
     def lower_str(self, k: int) -> str:
         return format_polynomial(self.lower_poly(k), precision=4)
 
+    def to_dict(self) -> dict:
+        """JSON-ready view of the result (used by ``repro serve``).
+
+        Symbolic bounds are rendered with the same formatter as
+        :meth:`summary`, numeric intervals as ``[lo, hi]`` pairs at the
+        first objective valuation.
+        """
+        evaluated = {}
+        for k in range(1, self.raw.degree + 1):
+            interval = self.raw_interval(k)
+            evaluated[f"E[C^{k}]"] = [interval.lo, interval.hi]
+        if self.raw.degree >= 2:
+            var = self.variance()
+            evaluated["V[C]"] = [var.lo, var.hi]
+        return {
+            "moments": self.raw.degree,
+            "raw_bounds": {
+                str(k): {"lower": self.lower_str(k), "upper": self.upper_str(k)}
+                for k in range(1, self.raw.degree + 1)
+            },
+            "evaluated": evaluated,
+            "valuations": self.valuations,
+            "objective_values": self.objective_values,
+            "solver_statuses": self.solver_statuses,
+            "objective_scales": self.objective_scales,
+            "warnings": self.warnings,
+            "lp_variables": self.lp_variables,
+            "lp_constraints": self.lp_constraints,
+            "solve_seconds": self.solve_seconds,
+        }
+
     def summary(self) -> str:
         lines = [
             f"moment bounds ({self.raw.degree} moments, "

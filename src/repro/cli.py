@@ -6,20 +6,27 @@ symbolic interval bounds on the raw moments, derived central moments, and
 optionally the Theorem 4.4 soundness report and a simulation cross-check.
 
 ``python -m repro batch`` runs the whole benchmark registry (optionally
-filtered by name prefix) through the concurrent batch driver
-(:func:`repro.analyze_many`) and prints one summary row per program.
+filtered by name prefix) through the sharded batch executor
+(:func:`repro.service.executor.run_batch`) and prints one summary row per
+program; failed programs are reported inline and make the exit code
+non-zero.  ``python -m repro serve`` starts the HTTP JSON API
+(:mod:`repro.service.server`).
+
+``--cache-dir`` (``analyze``, ``batch``, ``serve``) attaches the
+content-addressed artifact cache at the given directory, so repeated
+analyses of unchanged programs — across commands, processes, and sessions —
+reuse every derived stage.  ``serve`` defaults to the user cache directory
+(``~/.cache/repro``); the one-shot commands default to no disk cache.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro import (
     AnalysisOptions,
-    analyze,
-    analyze_many,
+    AnalysisPipeline,
     check_soundness,
     estimate_cost_statistics,
     parse_program,
@@ -46,6 +53,26 @@ def _add_backend_flag(cmd: argparse.ArgumentParser) -> None:
         "--backend", choices=available_backends(), default=None,
         help="LP backend (default: incremental warm-started HiGHS)",
     )
+
+
+def _add_cache_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist analysis artifacts in a content-addressed cache at DIR "
+        "(shared across processes and sessions)",
+    )
+
+
+def _make_cache(args, *, default_on: bool = False):
+    from repro.service.cache import ArtifactCache
+
+    if getattr(args, "no_cache", False):
+        return None  # explicit opt-out wins over --cache-dir
+    if args.cache_dir:
+        return ArtifactCache(args.cache_dir)
+    if default_on:
+        return ArtifactCache()
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check with N Monte-Carlo runs",
     )
     _add_backend_flag(analyze_cmd)
+    _add_cache_flag(analyze_cmd)
 
     batch_cmd = sub.add_parser(
         "batch", help="analyze the benchmark registry concurrently"
@@ -95,10 +123,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the registered moment order",
     )
     batch_cmd.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", "--workers", type=int, default=None, metavar="N", dest="jobs",
         help="number of concurrent analyses (default: min(8, #programs))",
     )
+    batch_cmd.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="thread: overlap LP solves in one process; process: shard the "
+        "workload across CPU cores (workers share --cache-dir)",
+    )
     _add_backend_flag(batch_cmd)
+    _add_cache_flag(batch_cmd)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="start the HTTP JSON analysis API"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8000, help="TCP port (0 picks a free one)"
+    )
+    serve_cmd.add_argument(
+        "--max-pipelines", type=int, default=128, metavar="N",
+        help="how many warm per-program pipelines to keep (LRU)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the on-disk artifact cache (memory only)",
+    )
+    _add_cache_flag(serve_cmd)
     return parser
 
 
@@ -118,7 +169,7 @@ def _run_analyze(args, out) -> int:
         objective_valuations=valuations,
         backend=args.backend,
     )
-    result = analyze(program, options)
+    result = AnalysisPipeline(program, artifacts=_make_cache(args)).analyze(options)
     print(result.summary(), file=out)
 
     if args.check:
@@ -157,37 +208,63 @@ def _run_batch(args, out) -> int:
         print(f"no registry programs match prefix {args.prefix!r}", file=out)
         return 1
 
-    start = time.perf_counter()
-    results = analyze_many(workload, jobs=args.jobs)
-    elapsed = time.perf_counter() - start
+    from repro.service.executor import run_batch
 
-    width = max(len(name) for name in results)
+    report = run_batch(
+        workload,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache=_make_cache(args),
+    )
+
+    width = max(len(item.name) for item in report.items)
     print(
         f"{'program':<{width}} {'E[C] interval':>26} {'V[C] hi':>12} "
         f"{'LP vars':>8} {'time (s)':>9}",
         file=out,
     )
-    for name, result in results.items():
+    for item in report.items:
+        if not item.ok:
+            print(f"{item.name:<{width}} FAILED: {item.error}", file=out)
+            continue
+        result = item.result
         interval = result.raw_interval(1)
-        line = f"{name:<{width}} [{interval.lo:>11.4g}, {interval.hi:>11.4g}]"
+        line = f"{item.name:<{width}} [{interval.lo:>11.4g}, {interval.hi:>11.4g}]"
         if result.raw.degree >= 2:
             line += f" {result.variance().hi:>12.4g}"
         else:
             line += f" {'-':>12}"
         line += f" {result.lp_variables:>8} {result.solve_seconds:>9.3f}"
         print(line, file=out)
+    failed = report.failures
     print(
-        f"{len(results)} programs in {elapsed:.2f}s "
-        f"(jobs={args.jobs or min(8, len(workload))})",
+        f"{len(report.items)} programs in {report.elapsed:.2f}s "
+        f"(executor={report.executor}, jobs={report.jobs}"
+        + (f", {len(failed)} failed" if failed else "")
+        + ")",
         file=out,
     )
-    return 0
+    return 1 if failed else 0
+
+
+def _run_serve(args, out) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache=_make_cache(args, default_on=True),
+        max_pipelines=args.max_pipelines,
+        out=out,
+    )
 
 
 def run(argv: list[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "batch":
         return _run_batch(args, out)
+    if args.command == "serve":
+        return _run_serve(args, out)
     return _run_analyze(args, out)
 
 

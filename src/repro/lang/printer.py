@@ -1,6 +1,21 @@
-"""Pretty-printer for Appl programs (inverse of :mod:`repro.lang.parser`)."""
+"""Pretty-printer for Appl programs (inverse of :mod:`repro.lang.parser`).
+
+Two output modes share the same traversal:
+
+* :func:`format_program` — human-oriented (``%g`` floats, declaration order
+  preserved), what error messages and examples use.
+* :func:`canonical_program` — the *content address* of a program: functions
+  in a deterministic order and every float printed in shortest-roundtrip
+  form, so two ASTs produce the same text iff they are the same program.
+  The service layer hashes this text to key its artifact caches
+  (:mod:`repro.service.cache`), and the process-pool batch executor ships it
+  to workers instead of pickled ASTs.  Canonical text re-parses to a program
+  whose canonical form is identical (a fixpoint).
+"""
 
 from __future__ import annotations
+
+from decimal import Decimal
 
 from repro.lang.ast import (
     Assign,
@@ -32,14 +47,32 @@ from repro.lang.ast import (
 )
 
 
-def format_expr(expr: Expr) -> str:
+def _g(value: float) -> str:
+    """Display formatting: 6 significant digits, how humans read bounds."""
+    return f"{value:g}"
+
+
+def _exact(value: float) -> str:
+    """Canonical formatting: shortest string that round-trips the float.
+
+    The Appl tokenizer has no exponent form, so values whose ``repr`` uses
+    scientific notation are expanded to their exact positional decimal.
+    """
+    value = float(value)
+    text = repr(value)
+    if "e" in text or "E" in text:
+        text = format(Decimal(value), "f")
+    return text
+
+
+def format_expr(expr: Expr, fmt=_g) -> str:
     if isinstance(expr, Var):
         return expr.name
     if isinstance(expr, Const):
-        return f"{expr.value:g}"
+        return fmt(expr.value)
     if isinstance(expr, BinOp):
-        left = format_expr(expr.left)
-        right = format_expr(expr.right)
+        left = format_expr(expr.left, fmt)
+        right = format_expr(expr.right, fmt)
         if expr.op == "*":
             if isinstance(expr.left, BinOp) and expr.left.op in "+-":
                 left = f"({left})"
@@ -51,84 +84,100 @@ def format_expr(expr: Expr) -> str:
     raise TypeError(f"unknown expression {expr!r}")
 
 
-def format_cond(cond: Cond) -> str:
+def format_cond(cond: Cond, fmt=_g) -> str:
     if isinstance(cond, BoolLit):
         return "true" if cond.value else "false"
     if isinstance(cond, Cmp):
-        return f"{format_expr(cond.left)} {cond.op} {format_expr(cond.right)}"
+        return f"{format_expr(cond.left, fmt)} {cond.op} {format_expr(cond.right, fmt)}"
     if isinstance(cond, Not):
-        return f"not ({format_cond(cond.arg)})"
+        return f"not ({format_cond(cond.arg, fmt)})"
     if isinstance(cond, And):
-        return f"({format_cond(cond.left)}) and ({format_cond(cond.right)})"
+        return f"({format_cond(cond.left, fmt)}) and ({format_cond(cond.right, fmt)})"
     if isinstance(cond, Or):
-        return f"({format_cond(cond.left)}) or ({format_cond(cond.right)})"
+        return f"({format_cond(cond.left, fmt)}) or ({format_cond(cond.right, fmt)})"
     raise TypeError(f"unknown condition {cond!r}")
 
 
-def format_dist(dist: Distribution) -> str:
+def format_dist(dist: Distribution, fmt=_g) -> str:
     if isinstance(dist, Uniform):
-        return f"uniform({dist.a:g}, {dist.b:g})"
+        return f"uniform({fmt(dist.a)}, {fmt(dist.b)})"
     if isinstance(dist, Discrete):
-        # Shortest-roundtrip float formatting: probabilities must re-parse
-        # to values summing exactly to 1.
-        inner = ", ".join(f"{v!r}: {p!r}" for v, p in dist.outcomes)
+        # Exact float formatting regardless of mode: probabilities must
+        # re-parse to values summing exactly to 1.
+        inner = ", ".join(f"{_exact(v)}: {_exact(p)}" for v, p in dist.outcomes)
         return f"discrete({inner})"
     raise TypeError(f"unknown distribution {dist!r}")
 
 
-def format_stmt(stmt: Stmt, indent: int = 0) -> str:
+def format_stmt(stmt: Stmt, indent: int = 0, fmt=_g) -> str:
     pad = "  " * indent
     if isinstance(stmt, Skip):
         return f"{pad}skip"
     if isinstance(stmt, Tick):
-        return f"{pad}tick({stmt.cost:g})"
+        return f"{pad}tick({fmt(stmt.cost)})"
     if isinstance(stmt, Assign):
-        return f"{pad}{stmt.var} := {format_expr(stmt.expr)}"
+        return f"{pad}{stmt.var} := {format_expr(stmt.expr, fmt)}"
     if isinstance(stmt, Sample):
-        return f"{pad}{stmt.var} ~ {format_dist(stmt.dist)}"
+        return f"{pad}{stmt.var} ~ {format_dist(stmt.dist, fmt)}"
     if isinstance(stmt, Call):
         return f"{pad}call {stmt.func}"
     if isinstance(stmt, Seq):
-        return ";\n".join(format_stmt(s, indent) for s in stmt.stmts)
+        return ";\n".join(format_stmt(s, indent, fmt) for s in stmt.stmts)
     if isinstance(stmt, ProbBranch):
-        header = f"{pad}if prob({stmt.prob:g}) then"
-        return _format_branches(header, stmt.then_branch, stmt.else_branch, indent)
+        header = f"{pad}if prob({fmt(stmt.prob)}) then"
+        return _format_branches(header, stmt.then_branch, stmt.else_branch, indent, fmt)
     if isinstance(stmt, NondetBranch):
         header = f"{pad}if ndet then"
-        return _format_branches(header, stmt.left, stmt.right, indent)
+        return _format_branches(header, stmt.left, stmt.right, indent, fmt)
     if isinstance(stmt, IfBranch):
-        header = f"{pad}if {format_cond(stmt.cond)} then"
-        return _format_branches(header, stmt.then_branch, stmt.else_branch, indent)
+        header = f"{pad}if {format_cond(stmt.cond, fmt)} then"
+        return _format_branches(header, stmt.then_branch, stmt.else_branch, indent, fmt)
     if isinstance(stmt, While):
         inv = ""
         if stmt.invariant:
-            inv = " inv(" + ", ".join(format_cond(c) for c in stmt.invariant) + ")"
-        body = format_stmt(stmt.body, indent + 1)
-        return f"{pad}while {format_cond(stmt.cond)}{inv} do\n{body}\n{pad}od"
+            inv = " inv(" + ", ".join(format_cond(c, fmt) for c in stmt.invariant) + ")"
+        body = format_stmt(stmt.body, indent + 1, fmt)
+        return f"{pad}while {format_cond(stmt.cond, fmt)}{inv} do\n{body}\n{pad}od"
     raise TypeError(f"unknown statement {stmt!r}")
 
 
-def _format_branches(header: str, then_branch: Stmt, else_branch: Stmt, indent: int) -> str:
+def _format_branches(
+    header: str, then_branch: Stmt, else_branch: Stmt, indent: int, fmt=_g
+) -> str:
     pad = "  " * indent
-    lines = [header, format_stmt(then_branch, indent + 1)]
+    lines = [header, format_stmt(then_branch, indent + 1, fmt)]
     if not isinstance(else_branch, Skip):
         lines.append(f"{pad}else")
-        lines.append(format_stmt(else_branch, indent + 1))
+        lines.append(format_stmt(else_branch, indent + 1, fmt))
     lines.append(f"{pad}fi")
     return "\n".join(lines)
 
 
-def format_fun(fun: FunDef) -> str:
+def format_fun(fun: FunDef, fmt=_g) -> str:
     ints = ""
     if fun.integers:
         ints = " int(" + ", ".join(fun.integers) + ")"
     pre = ""
     if fun.pre:
-        pre = " pre(" + ", ".join(format_cond(c) for c in fun.pre) + ")"
-    body = format_stmt(fun.body, 1)
+        pre = " pre(" + ", ".join(format_cond(c, fmt) for c in fun.pre) + ")"
+    body = format_stmt(fun.body, 1, fmt)
     return f"func {fun.name}(){ints}{pre} begin\n{body}\nend"
 
 
 def format_program(program: Program) -> str:
     ordered = sorted(program.functions.values(), key=lambda f: f.name != program.main)
     return "\n\n".join(format_fun(f) for f in ordered)
+
+
+def canonical_program(program: Program) -> str:
+    """Deterministic, content-complete text of ``program``.
+
+    Main first, remaining functions sorted by name (declaration order is
+    semantically irrelevant), floats in shortest-roundtrip form so programs
+    differing past the 6th significant digit do not collide.
+    """
+    ordered = sorted(
+        program.functions.values(),
+        key=lambda f: (f.name != program.main, f.name),
+    )
+    return "\n\n".join(format_fun(f, _exact) for f in ordered) + "\n"

@@ -24,6 +24,7 @@ ship them the backend registry falls back to :class:`ScipyDenseBackend`
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING, Iterable
 
@@ -35,18 +36,24 @@ from repro.lp.core import LPError, LPInfeasibleError, LPSolution
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lp.problem import LPProblem
 
-try:  # standalone highspy, if the environment has it
-    import highspy as _hs  # type: ignore
-
-    _HIGHS_AVAILABLE = True
-except ImportError:  # the copy scipy bundles (scipy >= 1.15)
-    try:
-        from scipy.optimize._highspy import _core as _hs  # type: ignore
+if os.environ.get("REPRO_DISABLE_HIGHS"):
+    # CI lever: force the scipy fallback path even when a HiGHS binding is
+    # importable, so the dense leg of the matrix tests what it claims to.
+    _hs = None
+    _HIGHS_AVAILABLE = False
+else:
+    try:  # standalone highspy, if the environment has it
+        import highspy as _hs  # type: ignore
 
         _HIGHS_AVAILABLE = True
-    except ImportError:  # pragma: no cover - environment without either
-        _hs = None
-        _HIGHS_AVAILABLE = False
+    except ImportError:  # the copy scipy bundles (scipy >= 1.15)
+        try:
+            from scipy.optimize._highspy import _core as _hs  # type: ignore
+
+            _HIGHS_AVAILABLE = True
+        except ImportError:  # pragma: no cover - environment without either
+            _hs = None
+            _HIGHS_AVAILABLE = False
 
 
 def highs_available() -> bool:
@@ -124,6 +131,23 @@ class IncrementalBackend(LPBackend):
         self._cold_seconds: float | None = None
         self._avoid_warm = False
         self._basis_valid = False
+
+    def __getstate__(self):
+        """Serialization hook for the artifact cache: the native HiGHS
+        handle cannot cross process/disk boundaries, so the pickle carries
+        only the triplet buffers and the model is rebuilt lazily on the
+        first solve after deserialization."""
+        state = self.__dict__.copy()
+        state.update(
+            _h=None,
+            _model_rows={EQ: 0, GE: 0},
+            _model_ncols=0,
+            _model_box=None,
+            _cold_seconds=None,
+            _avoid_warm=False,
+            _basis_valid=False,
+        )
+        return state
 
     # -- row storage --------------------------------------------------------
 

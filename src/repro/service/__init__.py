@@ -1,0 +1,30 @@
+"""Analysis service layer: persistent caching, batch execution, serving.
+
+The pipeline (:mod:`repro.analysis.pipeline`) made the per-stage artifacts
+explicit; this package makes them *durable* and *shared*:
+
+* :mod:`repro.service.cache` — a content-addressed artifact store: programs
+  are keyed by the SHA-256 of their canonical text
+  (:func:`repro.lang.printer.canonical_program`) plus the analysis options,
+  backed by an in-memory LRU and an on-disk pickle cache that survives the
+  process and is shared between processes.
+* :mod:`repro.service.executor` — the sharded batch executor: thread- or
+  process-pool execution of a named workload with per-program error
+  isolation, deterministic result ordering, and a shared disk cache.
+* :mod:`repro.service.server` — ``repro serve``: a stdlib-only HTTP JSON
+  API (``POST /analyze``, ``POST /batch``, ``GET /health``,
+  ``GET /cache/stats``) keeping warm pipelines per program hash.
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats, default_cache_dir, program_key
+from repro.service.executor import BatchItem, BatchReport, run_batch
+
+__all__ = [
+    "ArtifactCache",
+    "BatchItem",
+    "BatchReport",
+    "CacheStats",
+    "default_cache_dir",
+    "program_key",
+    "run_batch",
+]

@@ -1,0 +1,261 @@
+"""Content-addressed artifact store for analysis pipeline stages.
+
+Programs are addressed by content, not identity: the key of every cached
+artifact starts with the SHA-256 of the program's *canonical text*
+(:func:`repro.lang.printer.canonical_program`), so a program re-parsed in
+another process — or next week — maps to the same artifacts.  The rest of
+the key is the stage name plus the stage's option tuple (the same tuples
+:class:`~repro.analysis.pipeline.AnalysisOptions` already defines for the
+in-pipeline caches), so any option that influences an artifact changes its
+address and stale hits are impossible by construction.
+
+Two layers, checked in order:
+
+1. an in-memory LRU (``memory_entries`` artifacts, shared by every pipeline
+   holding the cache instance, thread-safe);
+2. an optional on-disk pickle cache under ``cache_dir`` (default
+   ``~/.cache/repro``, override with ``$REPRO_CACHE_DIR`` or ``--cache-dir``)
+   laid out as ``v<format>/<hash[:2]>/<hash>/<stage>-<digest>.pkl``.
+
+Disk entries are written atomically (temp file + ``os.replace``) so
+concurrent writers — the process-pool executor's workers share one
+directory — can never expose a torn pickle.  Reads treat the disk as
+untrusted: any unpicklable, truncated, or wrong-version entry is silently
+discarded (and deleted) rather than crashing the analysis; the worst case
+is always "recompute".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lang.ast import Program
+from repro.lang.printer import canonical_program
+
+#: Bump to invalidate every existing disk entry (artifact layout changes).
+CACHE_FORMAT = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro`` (XDG-aware)."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def program_key(program: Program | str) -> str:
+    """SHA-256 hex digest of the program's canonical text."""
+    text = program if isinstance(program, str) else canonical_program(program)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; exposed by ``GET /cache/stats`` and in tests."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    #: Disk entries that failed to load (corrupt/truncated/wrong version)
+    #: and were discarded.
+    discarded: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "discarded": self.discarded,
+        }
+
+
+@dataclass
+class _Entry:
+    """What actually goes through pickle: payload plus integrity metadata."""
+
+    format: int
+    stage: str
+    key: str
+    payload: object
+
+
+class ArtifactCache:
+    """In-memory LRU over an optional shared on-disk store.
+
+    ``cache_dir=None`` with ``disk=True`` uses :func:`default_cache_dir`;
+    ``disk=False`` keeps the cache purely in-memory (the pipeline then
+    behaves like PR 1, just with a bounded shared cache).
+    """
+
+    def __init__(
+        self,
+        cache_dir: "str | os.PathLike | None" = None,
+        *,
+        disk: bool = True,
+        memory_entries: int = 256,
+    ) -> None:
+        self.directory: Path | None = None
+        if disk:
+            self.directory = (
+                Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+            ) / f"v{CACHE_FORMAT}"
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def artifact_key(program_hash: str, stage: str, options_key: tuple) -> str:
+        digest = hashlib.sha256(
+            f"{stage}|{program_hash}|{options_key!r}".encode()
+        ).hexdigest()
+        return f"{program_hash}/{stage}-{digest[:20]}"
+
+    def _path(self, key: str) -> Path:
+        program_hash, name = key.split("/", 1)
+        assert self.directory is not None
+        return self.directory / program_hash[:2] / program_hash / f"{name}.pkl"
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, program_hash: str, stage: str, options_key: tuple = ()) -> object | None:
+        key = self.artifact_key(program_hash, stage, options_key)
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._memory[key]
+        payload = self._read_disk(key, stage)
+        with self._lock:
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, payload)
+            else:
+                self.stats.misses += 1
+        return payload
+
+    def put(
+        self, program_hash: str, stage: str, options_key: tuple, payload: object
+    ) -> None:
+        key = self.artifact_key(program_hash, stage, options_key)
+        with self._lock:
+            self.stats.writes += 1
+            self._remember(key, payload)
+        self._write_disk(key, stage, payload)
+
+    def _remember(self, key: str, payload: object) -> None:
+        # Caller holds self._lock.
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk layer ---------------------------------------------------------
+
+    def _read_disk(self, key: str, stage: str) -> object | None:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            entry = pickle.loads(blob)
+            if (
+                isinstance(entry, _Entry)
+                and entry.format == CACHE_FORMAT
+                and entry.stage == stage
+                and entry.key == key
+            ):
+                return entry.payload
+        except Exception:
+            pass
+        # Corrupt, truncated, or from an incompatible layout: drop it so the
+        # slot is rewritten cleanly after the recompute.
+        with self._lock:
+            self.stats.discarded += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    def _write_disk(self, key: str, stage: str, payload: object) -> None:
+        if self.directory is None:
+            return
+        path = self._path(key)
+        entry = _Entry(format=CACHE_FORMAT, stage=stage, key=key, payload=payload)
+        try:
+            blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # unpicklable payload: memory-only artifact
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # read-only/full disk: cache silently degrades to memory
+
+    # -- maintenance --------------------------------------------------------
+
+    def entry_count(self) -> tuple[int, int]:
+        """(memory entries, disk entries) — disk is a directory walk."""
+        with self._lock:
+            mem = len(self._memory)
+        if self.directory is None or not self.directory.exists():
+            return mem, 0
+        disk = sum(1 for _ in self.directory.rglob("*.pkl"))
+        return mem, disk
+
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+    def describe(self) -> dict:
+        mem, disk = self.entry_count()
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "format": CACHE_FORMAT,
+            "memory_entries": mem,
+            "memory_capacity": self.memory_entries,
+            "disk_entries": disk,
+            **self.stats.snapshot(),
+        }
+
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CACHE_FORMAT",
+    "default_cache_dir",
+    "program_key",
+]

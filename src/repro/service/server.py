@@ -1,0 +1,337 @@
+"""``repro serve``: a stdlib-only HTTP JSON API over the analysis service.
+
+Endpoints:
+
+* ``POST /analyze`` — body ``{"program": "<appl source>", "options": {...}}``;
+  responds with the symbolic bounds, numeric intervals, and the exact
+  ``summary`` text the CLI prints for the same request.
+* ``POST /batch`` — body ``{"programs": {name: source, ...}, "options":
+  {...}, "jobs": N}``; runs the named workload through the batch executor
+  with per-program error isolation and returns one entry per program in
+  input order.
+* ``GET /health`` — liveness plus backend/capacity facts.
+* ``GET /cache/stats`` — artifact-cache hit/miss counters and sizes.
+
+The server keeps a bounded pool of *warm pipelines* keyed by program
+content hash: repeated requests for the same program (at any options) skip
+every stage that is already derived, and with a disk-backed
+:class:`~repro.service.cache.ArtifactCache` the warmth survives restarts.
+Request handling is threaded (:class:`ThreadingHTTPServer`); concurrent
+requests for the *same* program share one pipeline, whose solve sections
+are internally locked, so identical concurrent requests return identical
+bytes.
+
+``options`` accepts the CLI's vocabulary: ``moments``, ``degree``,
+``degree_cap``, ``at`` (a ``{var: value}`` valuation), ``backend``,
+``upper_only``, ``unit_cost``, ``lexicographic``, ``lp_bound``, ``check``.
+Numbers that are infinite survive the JSON encoder in Python's extended
+notation (``Infinity``), which ``json.loads`` round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Lock
+
+from repro import __version__
+from repro.analysis.pipeline import AnalysisOptions, AnalysisPipeline
+from repro.lang.parser import ParseError, parse_program
+from repro.lp.backends import available_backends
+from repro.lp.backends.incremental import highs_available
+from repro.service.cache import ArtifactCache, program_key
+from repro.service.executor import run_batch
+
+_OPTION_KEYS = {
+    "moments",
+    "degree",
+    "degree_cap",
+    "at",
+    "backend",
+    "upper_only",
+    "unit_cost",
+    "lexicographic",
+    "lp_bound",
+    "check",
+}
+
+
+class RequestError(ValueError):
+    """Client-side problem: malformed body, unknown option, bad program."""
+
+
+def options_from_dict(data: "dict | None") -> AnalysisOptions:
+    """Build :class:`AnalysisOptions` from a request's ``options`` object.
+
+    Mirrors the CLI flag mapping exactly (``at`` becomes a single objective
+    valuation), so a served analysis and ``repro analyze`` construct the
+    same cache key and return the same result.
+    """
+    data = data or {}
+    if not isinstance(data, dict):
+        raise RequestError("options must be an object")
+    unknown = set(data) - _OPTION_KEYS
+    if unknown:
+        raise RequestError(
+            f"unknown options {sorted(unknown)}; expected {sorted(_OPTION_KEYS)}"
+        )
+    try:
+        at = data.get("at") or None
+        if at is not None:
+            if not isinstance(at, dict):
+                raise RequestError("options.at must be a {variable: value} object")
+            at = {str(k): float(v) for k, v in at.items()}
+        return AnalysisOptions(
+            moment_degree=int(data.get("moments", 2)),
+            template_degree=int(data.get("degree", 1)),
+            degree_cap=(
+                int(data["degree_cap"]) if data.get("degree_cap") is not None else None
+            ),
+            objective_valuations=(at,) if at else None,
+            upper_only=bool(data.get("upper_only", False)),
+            unit_cost=bool(data.get("unit_cost", False)),
+            check_soundness=bool(data.get("check", False)),
+            lexicographic=bool(data.get("lexicographic", True)),
+            lp_bound=float(data.get("lp_bound", 1e12)),
+            backend=data.get("backend"),
+        )
+    except RequestError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"bad options: {exc}") from exc
+
+
+class AnalysisService:
+    """Warm-pipeline pool + cache, shared by every request thread."""
+
+    def __init__(
+        self, cache: ArtifactCache | None = None, max_pipelines: int = 128
+    ) -> None:
+        self.cache = cache
+        self.max_pipelines = max_pipelines
+        self.started = time.time()
+        self.requests = 0
+        self._pipelines: "OrderedDict[str, tuple[AnalysisPipeline, Lock]]" = (
+            OrderedDict()
+        )
+        self._lock = Lock()
+
+    def pipeline_for(self, source: str) -> tuple[AnalysisPipeline, Lock, str, bool]:
+        """(pipeline, its request lock, program hash, was it already warm).
+
+        The per-pipeline lock serializes requests for the *same* program:
+        the first computes, later identical requests hit the result cache
+        and return the identical object — hence identical response bytes.
+        Requests for different programs proceed concurrently.
+        """
+        try:
+            program = parse_program(source)
+        except ParseError as exc:
+            raise RequestError(f"program does not parse: {exc}") from exc
+        key = program_key(program)
+        with self._lock:
+            warm = self._pipelines.get(key)
+            if warm is not None:
+                self._pipelines.move_to_end(key)
+                return (*warm, key, True)
+            pipeline = AnalysisPipeline(program, artifacts=self.cache)
+            pipeline._program_hash = key
+            entry = (pipeline, Lock())
+            self._pipelines[key] = entry
+            while len(self._pipelines) > self.max_pipelines:
+                self._pipelines.popitem(last=False)
+            return (*entry, key, False)
+
+    # -- request handlers ---------------------------------------------------
+
+    def analyze_request(self, payload: dict) -> dict:
+        source = payload.get("program")
+        if not isinstance(source, str) or not source.strip():
+            raise RequestError('body must carry {"program": "<appl source>"}')
+        options = options_from_dict(payload.get("options"))
+        pipeline, lock, key, warm = self.pipeline_for(source)
+        with lock:
+            result = pipeline.analyze(options)
+        # ``warm`` travels as a header (see the handler): response *bodies*
+        # for identical requests must be byte-identical.
+        return {
+            "ok": True,
+            "program": key,
+            "summary": result.summary(),
+            "result": result.to_dict(),
+        }, warm
+
+    def batch_request(self, payload: dict) -> dict:
+        programs = payload.get("programs")
+        if not isinstance(programs, dict) or not programs:
+            raise RequestError('body must carry {"programs": {name: source, ...}}')
+        options = options_from_dict(payload.get("options"))
+        jobs = payload.get("jobs")
+        try:
+            jobs = int(jobs) if jobs is not None else None
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"jobs must be an integer: {exc}") from exc
+        workload = {}
+        for name, source in programs.items():
+            try:
+                workload[name] = parse_program(source)
+            except ParseError as exc:
+                raise RequestError(f"program {name!r} does not parse: {exc}") from exc
+        report = run_batch(workload, options=options, jobs=jobs, cache=self.cache)
+        return {
+            "ok": report.ok,
+            "jobs": report.jobs,
+            "elapsed_seconds": report.elapsed,
+            "items": [
+                {
+                    "name": item.name,
+                    "ok": item.ok,
+                    **(
+                        {"summary": item.result.summary()}
+                        if item.ok
+                        else {"error": item.error}
+                    ),
+                }
+                for item in report.items
+            ],
+        }
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": time.time() - self.started,
+            "requests": self.requests,
+            "backends": available_backends(),
+            "highs": highs_available(),
+            "warm_pipelines": len(self._pipelines),
+        }
+
+    def cache_stats(self) -> dict:
+        stats = {"enabled": self.cache is not None}
+        if self.cache is not None:
+            stats.update(self.cache.describe())
+        stats["warm_pipelines"] = len(self._pipelines)
+        return stats
+
+
+class AnalysisHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, service: AnalysisService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep request logging out of the analysis output
+
+    def _send_json(
+        self, code: int, payload: dict, extra_headers: "dict[str, str] | None" = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("empty request body")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:
+        self.service.requests += 1
+        if self.path == "/health":
+            self._send_json(200, self.service.health())
+        elif self.path == "/cache/stats":
+            self._send_json(200, self.service.cache_stats())
+        else:
+            self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:
+        self.service.requests += 1
+        if self.path not in ("/analyze", "/batch"):
+            self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
+            return
+        try:
+            payload = self._read_json()
+            if self.path == "/analyze":
+                answer, warm = self.service.analyze_request(payload)
+                self._send_json(
+                    200, answer, {"X-Repro-Warm": "true" if warm else "false"}
+                )
+            else:
+                self._send_json(200, self.service.batch_request(payload))
+        except RequestError as exc:
+            self._send_json(400, {"ok": False, "error": str(exc)})
+        except Exception as exc:  # analysis failures: the request was valid
+            self._send_json(
+                422, {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    cache: ArtifactCache | None = None,
+    max_pipelines: int = 128,
+) -> AnalysisHTTPServer:
+    """Build (but do not start) the server; port 0 picks a free port."""
+    return AnalysisHTTPServer((host, port), AnalysisService(cache, max_pipelines))
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    cache: ArtifactCache | None = None,
+    max_pipelines: int = 128,
+    out=None,
+) -> int:
+    """Run the server until interrupted (the ``repro serve`` entry point)."""
+    server = make_server(host, port, cache, max_pipelines)
+    bound = server.server_address
+    if out is not None:
+        where = cache.directory if cache is not None and cache.directory else "memory-only"
+        print(
+            f"repro serve listening on http://{bound[0]}:{bound[1]} "
+            f"(cache: {where})",
+            file=out,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+__all__ = [
+    "AnalysisHTTPServer",
+    "AnalysisService",
+    "RequestError",
+    "make_server",
+    "options_from_dict",
+    "serve",
+]

@@ -64,3 +64,53 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_analyze_with_cache_dir_is_reproducible(self, source_file, tmp_path):
+        args = ["analyze", source_file, "--at", "d=10,x=0,t=0",
+                "--cache-dir", str(tmp_path / "cache")]
+        first = io.StringIO()
+        assert run(args, out=first) == 0
+        second = io.StringIO()
+        assert run(args, out=second) == 0
+        # The second run resolves from the disk cache: identical bytes,
+        # including the recorded solve time.
+        assert second.getvalue() == first.getvalue()
+        assert "E[C^1]" in first.getvalue()
+
+
+class TestBatchExitCode:
+    BROKEN = """
+    func main() begin
+      call missing
+    end
+    """
+
+    def _patch_registry(self, monkeypatch, programs):
+        from repro.lang.parser import parse_program
+        from repro.programs import registry
+        from repro.programs.registry import BenchProgram
+
+        benches = {
+            name: BenchProgram(name=name, source=source, valuation={"d": 10.0})
+            for name, source in programs.items()
+        }
+        monkeypatch.setattr(registry, "all_benchmarks", lambda: benches)
+        monkeypatch.setattr(
+            registry, "parsed", lambda name: parse_program(benches[name].source)
+        )
+
+    def test_batch_reports_failure_and_exits_nonzero(self, monkeypatch):
+        self._patch_registry(monkeypatch, {"bad": self.BROKEN, "good": RDWALK})
+        out = io.StringIO()
+        code = run(["batch"], out=out)
+        text = out.getvalue()
+        assert code == 1
+        assert "FAILED" in text and "ValidationError" in text
+        # The good program still completed and is reported normally.
+        assert "good" in text and "1 failed" in text
+
+    def test_batch_all_green_exits_zero(self, monkeypatch):
+        self._patch_registry(monkeypatch, {"good": RDWALK})
+        out = io.StringIO()
+        assert run(["batch"], out=out) == 0
+        assert "FAILED" not in out.getvalue()
