@@ -10,14 +10,33 @@ the central-moment curves dominate for large d.
 import pytest
 
 from _harness import emit, run_registered
+from repro.interp.mc import estimate_cost_statistics
 from repro.programs import registry
 from repro.programs.kura import KURA_NAMES
 from repro.tail.bounds import best_upper_tail
+
+SIM_RUNS = 20_000
 
 
 @pytest.fixture(scope="module")
 def results():
     return {name: run_registered(name) for name in KURA_NAMES}
+
+
+@pytest.fixture(scope="module")
+def simulations():
+    """Empirical ground truth from the vectorized Monte-Carlo engine; the
+    stored sample array backs ``CostStatistics.tail_probability``."""
+    return {
+        name: estimate_cost_statistics(
+            registry.parsed(name),
+            n=SIM_RUNS,
+            seed=41,
+            initial=registry.get(name).sim_init,
+            engine="vectorized",
+        )
+        for name in KURA_NAMES
+    }
 
 
 def _curve(result, valuation, thresholds):
@@ -34,7 +53,7 @@ def _curve(result, valuation, thresholds):
     return rows
 
 
-def test_fig9_curves(benchmark, results):
+def test_fig9_curves(benchmark, results, simulations):
     benchmark.pedantic(
         lambda: _curve(
             results["kura-2-1"], registry.get("kura-2-1").valuation, range(40, 400, 20)
@@ -42,27 +61,38 @@ def test_fig9_curves(benchmark, results):
         rounds=3,
         iterations=1,
     )
-    lines = ["Fig. 9/15: P[T >= d] upper bounds per program"]
+    lines = ["Fig. 9/15: P[T >= d] upper bounds per program (MC = empirical)"]
     wins = 0
     comparisons = 0
     for name in KURA_NAMES:
         bench = registry.get(name)
         result = results[name]
+        stats = simulations[name]
         mean_hi = result.raw_interval(1, bench.valuation).hi
         thresholds = [round(mean_hi * f) for f in (1.5, 2.0, 3.0, 5.0, 8.0)]
         lines.append(f"-- {name} (E[T] <= {mean_hi:.4g})")
         lines.append(
-            f"{'d':>8} {'Markov(deg<=4)':>15} {'Cantelli(2nd)':>14} {'Chebyshev(4th)':>15}"
+            f"{'d':>8} {'Markov(deg<=4)':>15} {'Cantelli(2nd)':>14} "
+            f"{'Chebyshev(4th)':>15} {'MC':>9}"
         )
         for d, markov, cantelli, chebyshev in _curve(
             result, bench.valuation, thresholds
         ):
+            empirical = stats.tail_probability(float(d))
             lines.append(
-                f"{d:>8} {markov:>15.5f} {cantelli:>14.5f} {chebyshev:>15.5f}"
+                f"{d:>8} {markov:>15.5f} {cantelli:>14.5f} {chebyshev:>15.5f} "
+                f"{empirical:>9.5f}"
             )
             comparisons += 1
             if min(cantelli, chebyshev) <= markov + 1e-12:
                 wins += 1
+            # Soundness of every curve: an upper bound on P[T >= d] must
+            # dominate the empirical tail up to binomial sampling error
+            # (kura-2-3 resolves its demonic choices randomly; the bounds
+            # hold for every resolution).
+            margin = 5.0 * (empirical * (1 - empirical) / SIM_RUNS) ** 0.5 + 1e-3
+            for bound in (markov, cantelli, chebyshev):
+                assert bound >= empirical - margin, (name, d, bound, empirical)
     lines.append(
         f"central-moment bounds at least as tight on {wins}/{comparisons} grid points"
     )

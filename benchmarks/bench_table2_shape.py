@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from _harness import emit, fmt, run_registered
-from repro.interp.mc import density_histogram, estimate_cost_statistics, simulate_costs
+from repro.interp.mc import density_histogram, estimate_cost_statistics
 from repro.programs import registry
 
 NAMES = ("rdwalk-var1", "rdwalk-var2")
@@ -24,11 +24,17 @@ def results():
 
 @pytest.fixture(scope="module")
 def simulations():
+    """Per-program :class:`CostStatistics` (vectorized engine); the stored
+    sample array feeds the density/tail queries below."""
     out = {}
     for name in NAMES:
         bench = registry.get(name)
-        out[name] = simulate_costs(
-            registry.parsed(name), 20_000, seed=29, initial=bench.sim_init
+        out[name] = estimate_cost_statistics(
+            registry.parsed(name),
+            n=20_000,
+            seed=29,
+            initial=bench.sim_init,
+            engine="vectorized",
         )
     return out
 
@@ -47,17 +53,14 @@ def test_table2_skewness_kurtosis(benchmark, results, simulations):
     for name in NAMES:
         bench = registry.get(name)
         result = results[name]
-        costs = simulations[name]
-        mean = float(np.mean(costs))
-        var = float(np.var(costs))
-        skew_mc = float(np.mean((costs - mean) ** 3)) / var**1.5
-        kurt_mc = float(np.mean((costs - mean) ** 4)) / var**2
+        stats = simulations[name]
+        skew_mc, kurt_mc = stats.skewness, stats.kurtosis
         skew_b = result.skewness_upper(bench.valuation)
         kurt_b = result.kurtosis_upper(bench.valuation)
         shape[name] = (skew_b, kurt_b, skew_mc, kurt_mc)
         e1 = result.raw_interval(1, bench.valuation)
         lines.append(
-            f"{name:<14} {fmt(e1.hi):>12} {mean:>9.2f} "
+            f"{name:<14} {fmt(e1.hi):>12} {stats.mean:>9.2f} "
             f"{skew_b:>12.3f} {skew_mc:>9.3f} {kurt_b:>12.3f} {kurt_mc:>9.3f}"
         )
     lines.append(
@@ -86,21 +89,26 @@ def test_table2_equal_means(results):
 
 def test_fig11_density_estimates(benchmark, simulations):
     benchmark.pedantic(
-        lambda: density_histogram(simulations["rdwalk-var1"]), rounds=3, iterations=1
+        lambda: density_histogram(simulations["rdwalk-var1"].costs),
+        rounds=3,
+        iterations=1,
     )
     lines = ["Fig. 11: runtime density estimates (normalized histograms)"]
     for name in NAMES:
-        mids, dens = density_histogram(simulations[name], bins=24)
+        stats = simulations[name]
+        mids, dens = density_histogram(stats.costs, bins=24)
         peak = float(mids[np.argmax(dens)])
-        p95 = float(np.quantile(simulations[name], 0.95))
+        p95 = stats.quantile(0.95)
         lines.append(f"-- {name}: mode near {peak:.0f}, 95th percentile {p95:.0f}")
         scale = 60.0 / max(dens)
         for m, v in zip(mids, dens):
             lines.append(f"{m:>8.1f} | " + "#" * int(round(v * scale)))
     emit("fig11_densities", lines)
-    # Heavier tail for variant 2.
-    p99_1 = np.quantile(simulations["rdwalk-var1"], 0.99)
-    p99_2 = np.quantile(simulations["rdwalk-var2"], 0.99)
-    mean1 = np.mean(simulations["rdwalk-var1"])
-    mean2 = np.mean(simulations["rdwalk-var2"])
-    assert p99_2 / mean2 > p99_1 / mean1
+    # Heavier tail for variant 2, in both quantile and tail-probability
+    # form (the latter via the sample array stored on CostStatistics).
+    var1, var2 = simulations["rdwalk-var1"], simulations["rdwalk-var2"]
+    assert var2.quantile(0.99) / var2.mean > var1.quantile(0.99) / var1.mean
+    for factor in (2.0, 3.0):
+        assert var2.tail_probability(factor * var2.mean) > var1.tail_probability(
+            factor * var1.mean
+        )

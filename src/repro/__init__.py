@@ -38,13 +38,26 @@ from repro.analysis.engine import (
     analyze_upper_raw,
 )
 from repro.analysis.results import MomentBoundResult
-from repro.interp.mc import CostStatistics, estimate_cost_statistics, simulate_costs
+from repro.interp.mc import (
+    CostStatistics,
+    estimate_cost_statistics,
+    simulate_costs,
+    statistics_from_costs,
+)
+from repro.interp.vectorized import BatchRunResult, VectorizedMachine
 from repro.lang.parser import parse_program
 from repro.lp.problem import LPError, LPInfeasibleError
 from repro.rings.interval import Interval
 from repro.rings.moment import MomentVector, raw_to_central, variance_interval
+from repro.programs.fuzz import FuzzCase, FuzzConfig, generate_case, generate_corpus
 from repro.service import ArtifactCache, BatchReport, run_batch
 from repro.soundness.checker import SoundnessReport, check_soundness
+from repro.soundness.differential import (
+    DifferentialConfig,
+    DifferentialReport,
+    check_case,
+    run_differential,
+)
 from repro.tail.bounds import (
     best_upper_tail,
     cantelli_upper_tail,
@@ -61,26 +74,37 @@ __all__ = [
     "AnalysisPipeline",
     "ArtifactCache",
     "BatchReport",
+    "BatchRunResult",
     "CostStatistics",
+    "DifferentialConfig",
+    "DifferentialReport",
+    "FuzzCase",
+    "FuzzConfig",
     "Interval",
     "LPError",
     "LPInfeasibleError",
     "MomentBoundResult",
     "MomentVector",
     "SoundnessReport",
+    "VectorizedMachine",
     "analyze",
     "analyze_many",
     "analyze_upper_raw",
     "best_upper_tail",
     "cantelli_upper_tail",
     "chebyshev_tail",
+    "check_case",
     "check_soundness",
     "estimate_cost_statistics",
+    "generate_case",
+    "generate_corpus",
     "markov_tail",
     "parse_program",
     "raw_to_central",
     "run_batch",
+    "run_differential",
     "simulate_costs",
+    "statistics_from_costs",
     "tail_curve",
     "variance_interval",
 ]

@@ -12,6 +12,14 @@ program; failed programs are reported inline and make the exit code
 non-zero.  ``python -m repro serve`` starts the HTTP JSON API
 (:mod:`repro.service.server`).
 
+``python -m repro fuzz`` runs the differential soundness harness
+(:mod:`repro.soundness.differential`): generated Appl programs are analyzed
+and simulated with the vectorized Monte-Carlo engine, every inferred moment
+interval is checked to bracket its empirical estimate up to the CLT margin,
+and violations exit non-zero with a minimized reproducer under ``--out``.
+``--budget SECONDS`` is the nightly deep mode (fresh seeds until the budget
+is spent); the default one-shot mode is the tier-1 corpus.
+
 ``--cache-dir`` (``analyze``, ``batch``, ``serve``) attaches the
 content-addressed artifact cache at the given directory, so repeated
 analyses of unchanged programs — across commands, processes, and sessions —
@@ -134,6 +142,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(batch_cmd)
     _add_cache_flag(batch_cmd)
 
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differential soundness fuzzing (analyzer vs. vectorized MC)",
+        description="Generate random well-formed Appl programs, analyze "
+        "them, simulate them with the batched Monte-Carlo engine, and "
+        "check that every inferred moment interval brackets its empirical "
+        "estimate up to the CLT sampling-error margin.  Violations are "
+        "minimized and dumped under --out; the exit code is non-zero iff "
+        "any violation was found.",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0, help="first generator seed (default 0)"
+    )
+    fuzz_cmd.add_argument(
+        "--count", type=int, default=50,
+        help="cases per batch (default 50); with --budget, batches of this "
+        "size are generated at consecutive seeds until time runs out",
+    )
+    fuzz_cmd.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="deep mode: keep fuzzing fresh seeds until SECONDS have elapsed",
+    )
+    fuzz_cmd.add_argument(
+        "--samples", type=int, default=4000,
+        help="Monte-Carlo trajectories per case (default 4000)",
+    )
+    fuzz_cmd.add_argument(
+        "--z", type=float, default=5.0,
+        help="CLT sigma multiplier for the bracketing margin (default 5)",
+    )
+    fuzz_cmd.add_argument(
+        "--max-steps", type=int, default=200_000,
+        help="per-trajectory step budget before a run counts as a timeout",
+    )
+    fuzz_cmd.add_argument(
+        "--out", default="fuzz-violations", metavar="DIR",
+        help="directory for minimized violation reproducers "
+        "(default ./fuzz-violations)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-minimize", action="store_true",
+        help="dump violating programs as generated, without shrinking",
+    )
+    fuzz_cmd.add_argument(
+        "--jobs", "--workers", type=int, default=None, metavar="N", dest="jobs",
+        help="concurrent analyses (default: min(8, #cases))",
+    )
+    fuzz_cmd.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="fan the analysis phase out over threads or processes",
+    )
+    _add_backend_flag(fuzz_cmd)
+    _add_cache_flag(fuzz_cmd)
+
     serve_cmd = sub.add_parser(
         "serve", help="start the HTTP JSON analysis API"
     )
@@ -179,7 +241,7 @@ def _run_analyze(args, out) -> int:
     if args.simulate:
         stats = estimate_cost_statistics(
             program, n=args.simulate, seed=0, initial=args.at or None,
-            degree=max(2, args.moments),
+            degree=max(2, args.moments), engine="vectorized",
         )
         print(
             f"simulation ({stats.samples} runs): mean {stats.mean:.4g}, "
@@ -247,6 +309,58 @@ def _run_batch(args, out) -> int:
     return 1 if failed else 0
 
 
+def _run_fuzz(args, out) -> int:
+    import time
+
+    from repro.programs.fuzz import generate_corpus
+    from repro.soundness.differential import (
+        DifferentialConfig,
+        DifferentialReport,
+        run_differential,
+    )
+
+    config = DifferentialConfig(
+        samples=args.samples,
+        z=args.z,
+        max_steps=args.max_steps,
+        minimize=not args.no_minimize,
+    )
+    cache = _make_cache(args)
+    combined = DifferentialReport()
+    seed = args.seed
+    started = time.perf_counter()
+    while True:
+        corpus = generate_corpus(args.count, seed=seed)
+        report = run_differential(
+            corpus,
+            config,
+            jobs=args.jobs,
+            executor=args.executor,
+            backend=args.backend,
+            cache=cache,
+            out_dir=args.out,
+        )
+        combined.outcomes.extend(report.outcomes)
+        combined.elapsed = time.perf_counter() - started
+        print(
+            f"[seeds {seed}..{seed + args.count - 1}] " + report.summary(),
+            file=out,
+        )
+        seed += args.count
+        if args.budget is None or combined.elapsed >= args.budget:
+            break
+    if args.budget is not None:
+        counts = ", ".join(
+            f"{v} {k}" for k, v in combined.counts().items() if v
+        )
+        print(
+            f"deep mode total: {len(combined.outcomes)} cases in "
+            f"{combined.elapsed:.1f}s — {counts}",
+            file=out,
+        )
+    return 1 if combined.violations else 0
+
+
 def _run_serve(args, out) -> int:
     from repro.service.server import serve
 
@@ -263,6 +377,8 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "batch":
         return _run_batch(args, out)
+    if args.command == "fuzz":
+        return _run_fuzz(args, out)
     if args.command == "serve":
         return _run_serve(args, out)
     return _run_analyze(args, out)

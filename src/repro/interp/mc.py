@@ -1,24 +1,57 @@
 """Monte-Carlo estimation of cost statistics.
 
 Used to cross-validate inferred bounds (every inferred interval must bracket
-the empirical moment up to sampling error) and to regenerate the density
-plots of Fig. 11.
+the empirical moment up to sampling error — see
+:mod:`repro.soundness.differential` for the systematic harness) and to
+regenerate the density plots of Fig. 11.
+
+Two interchangeable engines produce the samples:
+
+* ``engine="machine"`` — the scalar small-step interpreter
+  (:class:`~repro.interp.machine.Machine`), one trajectory at a time;
+* ``engine="vectorized"`` — the batched NumPy engine
+  (:class:`~repro.interp.vectorized.VectorizedMachine`), which advances all
+  trajectories simultaneously and is ~20-30x faster on the benchmark suite
+  (``benchmarks/bench_mc.py``).
+
+Both draw from the same trajectory distribution, but they consume the seeded
+random stream in different orders, so the *individual* samples differ for a
+given seed.  The scalar engine stays the default to keep long-standing
+seeded tests byte-stable; large-``n`` callers (the differential fuzz
+harness, the Fig. 9/11 benchmarks) opt into ``engine="vectorized"``.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.interp.machine import Machine, NondetPolicy, random_policy
+from repro.interp.machine import Machine, NondetPolicy, left_policy, random_policy
+from repro.interp.vectorized import simulate_costs_vectorized
 from repro.lang.ast import Program
+
+ENGINES = ("machine", "vectorized")
+
+#: Names accepted for ``nondet_policy`` by both engines, mapped to the
+#: scalar-machine callables they mean.
+_NAMED_POLICIES: dict[str, NondetPolicy] = {
+    "random": random_policy,
+    "left": left_policy,
+    "right": lambda stmt, valuation, rng: False,
+}
 
 
 @dataclass
 class CostStatistics:
-    """Empirical raw/central moments of the accumulated cost."""
+    """Empirical raw/central moments of the accumulated cost.
+
+    Carries the sample array it was estimated from (``costs``), so
+    sample-dependent queries — tail probabilities, quantiles, histograms —
+    are methods on the statistics object rather than functions that need the
+    samples passed back in.
+    """
 
     samples: int
     mean: float
@@ -27,6 +60,8 @@ class CostStatistics:
     skewness: float
     kurtosis: float
     timeouts: int
+    #: The terminating-run cost samples the statistics were computed from.
+    costs: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
 
     def raw_moment(self, k: int) -> float:
         return self.raw[k]
@@ -34,8 +69,51 @@ class CostStatistics:
     def central_moment(self, k: int) -> float:
         return self.central[k]
 
-    def tail_probability(self, threshold: float, costs: np.ndarray) -> float:
-        return float(np.mean(costs >= threshold))
+    def tail_probability(self, threshold: float) -> float:
+        """Empirical ``P[C >= threshold]`` over the stored samples."""
+        if self.costs.size == 0:
+            raise ValueError("no samples stored; re-estimate with n > 0")
+        return float(np.mean(self.costs >= threshold))
+
+    def quantile(self, q: float) -> float:
+        """Empirical ``q``-quantile of the stored cost samples."""
+        if self.costs.size == 0:
+            raise ValueError("no samples stored; re-estimate with n > 0")
+        return float(np.quantile(self.costs, q))
+
+    def moment_stderr(self, k: int) -> float:
+        """CLT standard error of the empirical k-th raw moment.
+
+        ``sd(C^k) / sqrt(n)`` — the scale of the sampling-error margin the
+        differential soundness harness allows before calling a bracketing
+        failure a violation.
+        """
+        if self.costs.size == 0:
+            raise ValueError("no samples stored; re-estimate with n > 0")
+        return float(np.std(self.costs**k) / math.sqrt(self.costs.size))
+
+
+def _resolve_policy(policy: "NondetPolicy | str", engine: str):
+    """Return the policy in the form the chosen engine wants."""
+    if engine == "vectorized":
+        if isinstance(policy, str):
+            return policy
+        for name, fn in _NAMED_POLICIES.items():
+            if policy is fn:
+                return name
+        raise TypeError(
+            "engine='vectorized' resolves nondeterminism batch-wide; pass "
+            f"one of {tuple(_NAMED_POLICIES)} instead of {policy!r}"
+        )
+    if isinstance(policy, str):
+        try:
+            return _NAMED_POLICIES[policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown nondet policy {policy!r}; "
+                f"expected one of {tuple(_NAMED_POLICIES)}"
+            ) from None
+    return policy
 
 
 def simulate_costs(
@@ -44,7 +122,8 @@ def simulate_costs(
     seed: int = 0,
     initial: dict[str, float] | None = None,
     max_steps: int = 1_000_000,
-    nondet_policy: NondetPolicy = random_policy,
+    nondet_policy: "NondetPolicy | str" = random_policy,
+    engine: str = "machine",
 ) -> np.ndarray:
     """Run ``program`` ``n`` times and return the accumulated costs.
 
@@ -52,7 +131,15 @@ def simulate_costs(
     kept by :func:`estimate_cost_statistics`; for the almost-surely
     terminating benchmark suite they are vanishingly rare.
     """
-    machine = Machine(program, nondet_policy)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    policy = _resolve_policy(nondet_policy, engine)
+    if engine == "vectorized":
+        return simulate_costs_vectorized(
+            program, n, seed=seed, initial=initial, max_steps=max_steps,
+            nondet_policy=policy,
+        )
+    machine = Machine(program, policy)
     rng = np.random.default_rng(seed)
     costs = []
     for _ in range(n):
@@ -62,19 +149,11 @@ def simulate_costs(
     return np.asarray(costs)
 
 
-def estimate_cost_statistics(
-    program: Program,
-    n: int = 10_000,
-    seed: int = 0,
-    degree: int = 4,
-    initial: dict[str, float] | None = None,
-    max_steps: int = 1_000_000,
-    nondet_policy: NondetPolicy = random_policy,
+def statistics_from_costs(
+    costs: np.ndarray, degree: int = 4, timeouts: int = 0
 ) -> CostStatistics:
-    costs = simulate_costs(
-        program, n, seed=seed, initial=initial, max_steps=max_steps,
-        nondet_policy=nondet_policy,
-    )
+    """Summarize an existing cost-sample array into :class:`CostStatistics`."""
+    costs = np.asarray(costs, dtype=float)
     if len(costs) == 0:
         raise RuntimeError("no terminating runs observed")
     mean = float(np.mean(costs))
@@ -92,8 +171,26 @@ def estimate_cost_statistics(
         central=central,
         skewness=skewness,
         kurtosis=kurtosis,
-        timeouts=n - len(costs),
+        timeouts=timeouts,
+        costs=costs,
     )
+
+
+def estimate_cost_statistics(
+    program: Program,
+    n: int = 10_000,
+    seed: int = 0,
+    degree: int = 4,
+    initial: dict[str, float] | None = None,
+    max_steps: int = 1_000_000,
+    nondet_policy: "NondetPolicy | str" = random_policy,
+    engine: str = "machine",
+) -> CostStatistics:
+    costs = simulate_costs(
+        program, n, seed=seed, initial=initial, max_steps=max_steps,
+        nondet_policy=nondet_policy, engine=engine,
+    )
+    return statistics_from_costs(costs, degree=degree, timeouts=n - len(costs))
 
 
 def density_histogram(

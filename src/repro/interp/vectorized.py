@@ -1,0 +1,570 @@
+"""Batched Monte-Carlo engine: N trajectories advanced simultaneously.
+
+The per-trajectory :class:`~repro.interp.machine.Machine` spends essentially
+all of its time in the Python interpreter loop — one isinstance chain plus a
+recursive ``eval_expr`` per small step.  This module trades that loop for
+data parallelism, SIMT-style:
+
+1. **Compilation.**  The program is flattened once into a bytecode array
+   (:class:`CompiledProgram`): straight-line ops plus explicit jumps.
+   Structured control flow disappears — a ``while`` becomes a conditional
+   branch back-edge, a ``call`` pushes a return address.  Expressions and
+   conditions compile to closures over a ``(n, vars)`` float matrix, so one
+   evaluation covers every trajectory currently at that instruction.
+2. **Masked stepping.**  Runtime state is columnar: a ``(N, vars)`` valuation
+   matrix, an ``(N,)`` cost vector, an ``(N,)`` program counter, and a
+   growable ``(N, depth)`` return-address stack.  Each superstep partitions
+   the live trajectories by program counter and executes every distinct
+   instruction once on its whole cohort — sampling, arithmetic, branching,
+   and cost accumulation are single NumPy calls on the cohort.  A trajectory
+   that halts drops out of the partition; the run ends when all are done (or
+   hit ``max_steps``, reported per-trajectory like ``Machine``'s timeout).
+
+The cohort sizes are what make this fast: a program with I instructions has
+at most I cohorts per superstep no matter how desynchronized the N
+trajectories get, so the Python-level work per superstep is O(I) while the
+numeric work covers ~N trajectory-steps.  ``benchmarks/bench_mc.py`` records
+the resulting speedup over the scalar machine (>=20x on the Fig. 10
+workload at N=10k).
+
+Random-number use differs from ``Machine`` (cohort draws instead of one
+stream per trajectory), so identical seeds give *distributionally* identical
+but not bitwise-identical trajectories; ``tests/test_vectorized.py`` checks
+exact parity on deterministic programs and statistical parity elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.lang.ast import (
+    And,
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Cmp,
+    Cond,
+    Const,
+    Discrete,
+    Distribution,
+    Expr,
+    IfBranch,
+    Not,
+    NondetBranch,
+    Or,
+    ProbBranch,
+    Program,
+    Sample,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    Uniform,
+    Var,
+    While,
+)
+
+#: How nondeterministic branches are resolved for the whole batch:
+#: ``"random"`` flips a fair coin per trajectory (the default, matching
+#: :func:`repro.interp.machine.random_policy`), ``"left"``/``"right"`` pin
+#: the branch.  The analyzer's nondet join contains *both* branch intervals,
+#: so any resolution must stay inside the inferred bounds — which is exactly
+#: what the differential harness checks.
+NONDET_POLICIES = ("random", "left", "right")
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+# Opcodes.  Each instruction is (op, arg1, arg2); unused slots are None.
+OP_HALT = 0       # ()
+OP_TICK = 1       # (cost,)
+OP_ASSIGN = 2     # (var_index, expr_fn)
+OP_SAMPLE = 3     # (var_index, sampler_fn)
+OP_JUMP = 4       # (target,)
+OP_BRANCH = 5     # (cond_fn, else_target)       pc+1 when true
+OP_PROB = 6       # (prob, else_target)          pc+1 with probability p
+OP_NONDET = 7     # (else_target,)               policy-resolved
+OP_CALL = 8       # (target,)                    pushes pc+1
+OP_RET = 9        # ()                           pops return address
+
+
+#: Longest straight-line trace one cohort chases within a single superstep
+#: (see ``VectorizedMachine.run``); bounds the latency of the per-trajectory
+#: ``max_steps`` timeout check.
+_BLOCK_BUDGET = 64
+
+ExprFn = Callable[[np.ndarray], np.ndarray]
+CondFn = Callable[[np.ndarray], np.ndarray]
+SamplerFn = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def collect_variables(program: Program) -> tuple[str, ...]:
+    """Every variable mentioned anywhere in the program, sorted."""
+    names: set[str] = set()
+
+    def walk_expr(expr: Expr) -> None:
+        if isinstance(expr, Var):
+            names.add(expr.name)
+        elif isinstance(expr, BinOp):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+
+    def walk_cond(cond: Cond) -> None:
+        if isinstance(cond, Cmp):
+            walk_expr(cond.left)
+            walk_expr(cond.right)
+        elif isinstance(cond, Not):
+            walk_cond(cond.arg)
+        elif isinstance(cond, (And, Or)):
+            walk_cond(cond.left)
+            walk_cond(cond.right)
+
+    def walk_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            names.add(stmt.var)
+            walk_expr(stmt.expr)
+        elif isinstance(stmt, Sample):
+            names.add(stmt.var)
+        elif isinstance(stmt, Seq):
+            for s in stmt.stmts:
+                walk_stmt(s)
+        elif isinstance(stmt, (ProbBranch, IfBranch)):
+            if isinstance(stmt, IfBranch):
+                walk_cond(stmt.cond)
+            walk_stmt(stmt.then_branch)
+            walk_stmt(stmt.else_branch)
+        elif isinstance(stmt, NondetBranch):
+            walk_stmt(stmt.left)
+            walk_stmt(stmt.right)
+        elif isinstance(stmt, While):
+            walk_cond(stmt.cond)
+            walk_stmt(stmt.body)
+
+    for fun in program.functions.values():
+        for cond in fun.pre:
+            walk_cond(cond)
+        walk_stmt(fun.body)
+    return tuple(sorted(names))
+
+
+def compile_expr(expr: Expr, index: dict[str, int]) -> ExprFn:
+    """Compile to a closure mapping an ``(n, vars)`` matrix to ``(n,)``."""
+    if isinstance(expr, Var):
+        col = index[expr.name]
+        return lambda vals: vals[:, col]
+    if isinstance(expr, Const):
+        value = float(expr.value)
+        return lambda vals: np.full(vals.shape[0], value)
+    if isinstance(expr, BinOp):
+        left = compile_expr(expr.left, index)
+        right = compile_expr(expr.right, index)
+        if expr.op == "+":
+            return lambda vals: left(vals) + right(vals)
+        if expr.op == "-":
+            return lambda vals: left(vals) - right(vals)
+        if expr.op == "*":
+            return lambda vals: left(vals) * right(vals)
+        raise ValueError(f"unknown operator {expr.op!r}")
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def compile_cond(cond: Cond, index: dict[str, int]) -> CondFn:
+    """Compile to a closure mapping an ``(n, vars)`` matrix to ``(n,)`` bool."""
+    if isinstance(cond, BoolLit):
+        value = bool(cond.value)
+        return lambda vals: np.full(vals.shape[0], value)
+    if isinstance(cond, Cmp):
+        left = compile_expr(cond.left, index)
+        right = compile_expr(cond.right, index)
+        op = {
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+            "==": np.equal,
+            "!=": np.not_equal,
+        }[cond.op]
+        return lambda vals: op(left(vals), right(vals))
+    if isinstance(cond, Not):
+        arg = compile_cond(cond.arg, index)
+        return lambda vals: ~arg(vals)
+    if isinstance(cond, And):
+        left, right = compile_cond(cond.left, index), compile_cond(cond.right, index)
+        return lambda vals: left(vals) & right(vals)
+    if isinstance(cond, Or):
+        left, right = compile_cond(cond.left, index), compile_cond(cond.right, index)
+        return lambda vals: left(vals) | right(vals)
+    raise TypeError(f"unknown condition {cond!r}")
+
+
+def compile_sampler(dist: Distribution) -> SamplerFn:
+    """One vectorized draw per cohort; same laws as ``Distribution.sample``."""
+    if isinstance(dist, Uniform):
+        a, b = float(dist.a), float(dist.b)
+        return lambda rng, n: rng.uniform(a, b, size=n)
+    if isinstance(dist, Discrete):
+        values = np.array([v for v, _ in dist.outcomes])
+        cum = np.cumsum([p for _, p in dist.outcomes])
+        cum[-1] = 1.0  # guard against round-off excluding the last outcome
+
+        def draw(rng: np.random.Generator, n: int) -> np.ndarray:
+            return values[np.searchsorted(cum, rng.random(n), side="left")]
+
+        return draw
+    raise TypeError(f"unknown distribution {dist!r}")
+
+
+@dataclass
+class CompiledProgram:
+    """Flat bytecode plus the variable layout it was compiled against."""
+
+    ops: list[tuple]
+    variables: tuple[str, ...]
+    index: dict[str, int]
+    entry: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.ops)
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Flatten ``program`` into jump-threaded bytecode.
+
+    Layout: instruction 0 is ``CALL main``, instruction 1 is ``HALT``; each
+    function body follows, terminated by ``RET``.  Function call targets are
+    patched after all bodies are placed.
+    """
+    variables = collect_variables(program)
+    index = {name: i for i, name in enumerate(variables)}
+    ops: list[tuple] = [None, (OP_HALT, None, None)]  # 0 patched to CALL main
+    fun_entry: dict[str, int] = {}
+    call_patches: list[tuple[int, str]] = []
+
+    def emit(op: tuple) -> int:
+        ops.append(op)
+        return len(ops) - 1
+
+    def emit_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Tick):
+            emit((OP_TICK, float(stmt.cost), None))
+            return
+        if isinstance(stmt, Assign):
+            emit((OP_ASSIGN, index[stmt.var], compile_expr(stmt.expr, index)))
+            return
+        if isinstance(stmt, Sample):
+            emit((OP_SAMPLE, index[stmt.var], compile_sampler(stmt.dist)))
+            return
+        if isinstance(stmt, Call):
+            call_patches.append((emit((OP_CALL, None, None)), stmt.func))
+            return
+        if isinstance(stmt, Seq):
+            for s in stmt.stmts:
+                emit_stmt(s)
+            return
+        if isinstance(stmt, (ProbBranch, IfBranch, NondetBranch)):
+            if isinstance(stmt, ProbBranch):
+                branch_at = emit((OP_PROB, float(stmt.prob), None))
+                then_branch, else_branch = stmt.then_branch, stmt.else_branch
+            elif isinstance(stmt, IfBranch):
+                branch_at = emit((OP_BRANCH, compile_cond(stmt.cond, index), None))
+                then_branch, else_branch = stmt.then_branch, stmt.else_branch
+            else:
+                branch_at = emit((OP_NONDET, None, None))
+                then_branch, else_branch = stmt.left, stmt.right
+            emit_stmt(then_branch)
+            if isinstance(else_branch, Skip):
+                # Fall through: the else-target is simply past the then-arm.
+                op, arg, _ = ops[branch_at]
+                ops[branch_at] = (op, arg, len(ops))
+            else:
+                jump_at = emit((OP_JUMP, None, None))
+                op, arg, _ = ops[branch_at]
+                ops[branch_at] = (op, arg, len(ops))
+                emit_stmt(else_branch)
+                ops[jump_at] = (OP_JUMP, len(ops), None)
+            return
+        if isinstance(stmt, While):
+            test_at = emit((OP_BRANCH, compile_cond(stmt.cond, index), None))
+            emit_stmt(stmt.body)
+            emit((OP_JUMP, test_at, None))
+            op, arg, _ = ops[test_at]
+            ops[test_at] = (op, arg, len(ops))
+            return
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    for name, fun in program.functions.items():
+        fun_entry[name] = len(ops)
+        emit_stmt(fun.body)
+        emit((OP_RET, None, None))
+
+    ops[0] = (OP_CALL, fun_entry[program.main], None)
+    for at, name in call_patches:
+        ops[at] = (OP_CALL, fun_entry[name], None)
+    _optimize(ops)
+    return CompiledProgram(ops=ops, variables=variables, index=index)
+
+
+def _chase(ops: list[tuple], target: int) -> int:
+    """Follow a chain of unconditional jumps to its final destination."""
+    seen = set()
+    while ops[target][0] == OP_JUMP and target not in seen:
+        seen.add(target)
+        target = ops[target][1]
+    return target
+
+
+def _optimize(ops: list[tuple]) -> None:
+    """Jump threading + tail-call elimination, in place.
+
+    Both matter for cohort sizes, not just raw step counts: a ``call`` whose
+    continuation is ``ret`` (directly or through jumps) is rewritten into a
+    jump, so tail-recursive programs — the coupon-collector chains of the
+    Fig. 10 workload are nothing but tail calls — run with constant stack
+    depth and never pay the divergent return-address scatter that would
+    otherwise split their cohorts once per call.
+    """
+    for i, (op, a, b) in enumerate(ops):
+        if op == OP_JUMP:
+            ops[i] = (op, _chase(ops, a), None)
+        elif op in (OP_BRANCH, OP_PROB, OP_NONDET):
+            ops[i] = (op, a, _chase(ops, b))
+    for i, (op, a, b) in enumerate(ops):
+        if op == OP_CALL and ops[_chase(ops, i + 1)][0] == OP_RET:
+            ops[i] = (OP_JUMP, a, None)
+
+
+# ---------------------------------------------------------------------------
+# Batched execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchRunResult:
+    """Columnar outcome of ``n`` executions (rows align across arrays)."""
+
+    costs: np.ndarray        # (n,) float — accumulated cost per trajectory
+    steps: np.ndarray        # (n,) int — instructions executed per trajectory
+    terminated: np.ndarray   # (n,) bool — False = hit max_steps
+    valuations: np.ndarray   # (n, vars) float — final variable values
+    variables: tuple[str, ...]
+
+    @property
+    def terminated_costs(self) -> np.ndarray:
+        """Costs of the terminating trajectories only (what MC estimates use)."""
+        return self.costs[self.terminated]
+
+    def valuation_of(self, row: int) -> dict[str, float]:
+        return {
+            name: float(self.valuations[row, col])
+            for col, name in enumerate(self.variables)
+        }
+
+
+class VectorizedMachine:
+    """Batched evaluator for one program; reusable across runs/seeds."""
+
+    def __init__(self, program: Program, nondet_policy: str = "random") -> None:
+        if nondet_policy not in NONDET_POLICIES:
+            raise ValueError(
+                f"unknown nondet policy {nondet_policy!r}; "
+                f"expected one of {NONDET_POLICIES}"
+            )
+        self.program = program
+        self.compiled = compile_program(program)
+        self.nondet_policy = nondet_policy
+
+    def run(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        initial: dict[str, float] | None = None,
+        max_steps: int = 1_000_000,
+    ) -> BatchRunResult:
+        """Advance ``n`` trajectories to termination (or ``max_steps`` each).
+
+        ``max_steps`` counts executed bytecode instructions per trajectory —
+        the vectorized analogue of ``Machine.run``'s small-step budget (the
+        two step counts differ by bounded per-construct constants; both are
+        linear in the trajectory's true length).
+        """
+        compiled = self.compiled
+        ops = compiled.ops
+        num_vars = len(compiled.variables)
+        vals = np.zeros((n, num_vars))
+        for name, value in (initial or {}).items():
+            if name in compiled.index:
+                vals[:, compiled.index[name]] = value
+        costs = np.zeros(n)
+        steps = np.zeros(n, dtype=np.int64)
+        pcs = np.zeros(n, dtype=np.int64)  # entry: instruction 0 is CALL main
+        halted = np.zeros(n, dtype=bool)
+        # Return-address stacks, columnar: (n, depth) grown on demand.
+        stack = np.zeros((n, 8), dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+
+        # A cohort (all live trajectories at one pc) executes a whole
+        # straight-line trace per superstep: TICK/ASSIGN/SAMPLE advance to
+        # pc+1 and JUMP/CALL move the entire cohort together, so the trace
+        # is chased until a *divergent* instruction — BRANCH/PROB/NONDET
+        # split the cohort, RET scatters it across return addresses, HALT
+        # ends it.  Divergence that turns out unanimous (a branch every
+        # member takes the same way, a return the whole cohort makes to one
+        # address) does not stop the chase.  ``_BLOCK_BUDGET`` bounds each
+        # chase so the per-trajectory timeout check between supersteps is
+        # reached even by call chains with no intervening divergence.
+        #
+        # The live state is *gathered* into pc-sorted compact arrays once
+        # per superstep, so every cohort is a contiguous slice and the hot
+        # per-op array expressions are cheap view operations rather than
+        # fancy-indexed gathers; only the (rare) CALL/RET stack traffic
+        # addresses the full-size arrays.  The compact state is scattered
+        # back at the end of the superstep.
+        live = np.arange(n)
+        while live.size:
+            live_pcs = pcs[live]
+            order = np.argsort(live_pcs, kind="stable")
+            rows_sorted = live[order]
+            sorted_pcs = live_pcs[order]
+            boundaries = np.flatnonzero(np.diff(sorted_pcs)) + 1
+            starts = np.concatenate(([0], boundaries, [sorted_pcs.size]))
+            cvals = vals[rows_sorted]
+            ccosts = costs[rows_sorted]
+            cpcs = sorted_pcs.copy()
+            csteps = np.zeros(sorted_pcs.size, dtype=np.int64)
+            chalt = np.zeros(sorted_pcs.size, dtype=bool)
+            for c in range(starts.size - 1):
+                s = slice(starts[c], starts[c + 1])
+                size = starts[c + 1] - starts[c]
+                pc = int(sorted_pcs[starts[c]])
+                rows = None  # materialized lazily for stack traffic
+                executed = 0
+                for _ in range(_BLOCK_BUDGET):
+                    op, a, b = ops[pc]
+                    if op == OP_TICK:
+                        ccosts[s] += a
+                        pc += 1
+                    elif op == OP_ASSIGN:
+                        view = cvals[s]
+                        view[:, a] = b(view)
+                        pc += 1
+                    elif op == OP_SAMPLE:
+                        cvals[s, a] = b(rng, size)
+                        pc += 1
+                    elif op == OP_JUMP:
+                        pc = a
+                    elif op == OP_CALL:
+                        if rows is None:
+                            rows = rows_sorted[s]
+                        d = depth[rows]
+                        if int(d.max()) >= stack.shape[1]:
+                            stack = np.concatenate(
+                                [stack, np.zeros_like(stack)], axis=1
+                            )
+                        stack[rows, d] = pc + 1
+                        depth[rows] = d + 1
+                        pc = a
+                    elif op == OP_BRANCH:
+                        taken = a(cvals[s])
+                        if taken.all():
+                            pc += 1  # cohort agrees: keep chasing
+                        elif not taken.any():
+                            pc = b
+                        else:
+                            cpcs[s] = np.where(taken, pc + 1, b)
+                            executed += 1
+                            break
+                    elif op == OP_PROB:
+                        taken = rng.random(size) < a
+                        cpcs[s] = np.where(taken, pc + 1, b)
+                        executed += 1
+                        break
+                    elif op == OP_NONDET:
+                        if self.nondet_policy == "left":
+                            cpcs[s] = pc + 1
+                        elif self.nondet_policy == "right":
+                            cpcs[s] = b
+                        else:
+                            taken = rng.random(size) < 0.5
+                            cpcs[s] = np.where(taken, pc + 1, b)
+                        executed += 1
+                        break
+                    elif op == OP_RET:
+                        if rows is None:
+                            rows = rows_sorted[s]
+                        d = depth[rows] - 1
+                        depth[rows] = d
+                        rets = stack[rows, d]
+                        first = int(rets[0])
+                        if (rets == first).all():
+                            pc = first  # synchronized unwind: keep chasing
+                        else:
+                            cpcs[s] = rets
+                            executed += 1
+                            break
+                    elif op == OP_HALT:
+                        chalt[s] = True
+                        cpcs[s] = pc
+                        break
+                    else:  # pragma: no cover - compiler emits only known ops
+                        raise RuntimeError(f"unknown opcode {op}")
+                    executed += 1
+                else:
+                    # Budget exhausted mid-trace: park the cohort at pc; the
+                    # next superstep resumes it (after the timeout check).
+                    cpcs[s] = pc
+                csteps[s] = executed
+            vals[rows_sorted] = cvals
+            costs[rows_sorted] = ccosts
+            pcs[rows_sorted] = cpcs
+            new_steps = steps[rows_sorted] + csteps
+            steps[rows_sorted] = new_steps
+            halted[rows_sorted] = chalt
+            # Only this superstep's rows can leave the live set.
+            live = rows_sorted[~chalt & (new_steps < max_steps)]
+        return BatchRunResult(
+            costs=costs,
+            steps=steps,
+            terminated=halted,
+            valuations=vals,
+            variables=compiled.variables,
+        )
+
+
+def simulate_costs_vectorized(
+    program: Program,
+    n: int,
+    seed: int = 0,
+    initial: dict[str, float] | None = None,
+    max_steps: int = 1_000_000,
+    nondet_policy: str = "random",
+) -> np.ndarray:
+    """Batched analogue of :func:`repro.interp.mc.simulate_costs`.
+
+    Returns the accumulated costs of the terminating trajectories (runs that
+    exhaust ``max_steps`` are dropped, exactly like the scalar path).
+    """
+    machine = VectorizedMachine(program, nondet_policy=nondet_policy)
+    result = machine.run(
+        n, np.random.default_rng(seed), initial=initial, max_steps=max_steps
+    )
+    return result.terminated_costs
+
+
+__all__ = [
+    "BatchRunResult",
+    "CompiledProgram",
+    "NONDET_POLICIES",
+    "VectorizedMachine",
+    "collect_variables",
+    "compile_program",
+    "simulate_costs_vectorized",
+]

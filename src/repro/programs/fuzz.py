@@ -1,0 +1,379 @@
+"""Seeded generator of well-formed Appl programs for differential testing.
+
+Every case is built from templates whose soundness side conditions hold *by
+construction*, so the analyzer should succeed on most of them and the
+Theorem 4.4 bracketing claim is actually checkable:
+
+* **Drift loops** — ``while x > 0 inv(...) do t ~ step; x := x + t; ... od``
+  where ``step`` has bounded support and strictly negative drift, so the
+  stopping time has finite moments of every order;
+* **Bounded recursion** — the Fig. 2 ``rdwalk`` shape: climb toward a
+  threshold ``d`` with strictly positive drift, tick *after* the recursive
+  call (non-tail);
+* **Geometric recursion** — the Fig. 4 ``geo`` shape: recurse with
+  probability ``p < 1``;
+* **Straight-line blocks** — samples, assignments and (nested) branches
+  with no loops at all.
+
+Loop/recursion bodies and straight-line blocks are filled from a recursive
+statement grammar spanning the scenario grid: probabilistic, conditional
+and demonic-nondeterministic branches (nested up to a configured depth),
+ticks with mixed-sign costs, scratch-variable updates, and sampling from
+every supported distribution family.  All assignments keep the
+bounded-update criterion of :mod:`repro.soundness.bounded_update`
+satisfied (linear, unbounded coefficients summing to at most 1).
+
+Probabilities and constants are dyadic rationals, so the surface text
+printed here re-parses to *bit-identical* floats and the canonical printer
+round-trips exactly (``tests/test_fuzz.py`` checks this over the corpus).
+
+The generator emits *closed* programs (every variable initialized at the
+top of ``main``) except for the ``open`` walk family, which leaves the
+counter symbolic with a ``pre`` and pairs the case with a generated initial
+valuation — exercising the analyzer's symbolic-in-the-initial-state path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Size bounds and feature toggles for the generator."""
+
+    max_blocks: int = 3          #: top-level blocks in main
+    max_branch_depth: int = 2    #: nesting depth of the branch grammar
+    max_body_stmts: int = 3      #: extra statements per loop/branch body
+    allow_nondet: bool = True
+    allow_recursion: bool = True
+    allow_continuous: bool = True
+    allow_negative_costs: bool = True
+    #: Moment degrees a case may declare (drawn uniformly).
+    moment_degrees: tuple[int, ...] = (1, 2, 2)
+    #: Start values for open walk cases.
+    max_start: int = 12
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated scenario: program text plus everything a differential
+    check needs to run it."""
+
+    name: str
+    seed: int
+    source: str
+    initial: dict[str, float] = field(hash=False)
+    #: Objective valuation for the analyzer (covers every program variable).
+    valuation: dict[str, float] = field(hash=False)
+    moment_degree: int
+    #: Scenario-grid labels ("loop", "recursion", "ndet", "neg-cost", ...).
+    features: tuple[str, ...] = ()
+
+    def parse(self) -> Program:
+        return parse_program(self.source)
+
+
+def _dyadic(rng: np.random.Generator, lo: int = 1, hi: int = 15) -> float:
+    """A random dyadic probability k/16 in (0, 1) — prints/parses exactly."""
+    return int(rng.integers(lo, hi + 1)) / 16.0
+
+
+class _CaseBuilder:
+    """Holds the mutable generation state for one seed."""
+
+    def __init__(self, seed: int, config: FuzzConfig) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.config = config
+        self.features: set[str] = set()
+        self.fun_count = 0
+
+    # -- scalar ingredients --------------------------------------------------
+
+    def cost_value(self) -> float:
+        rng = self.rng
+        magnitudes = (0.5, 1.0, 2.0, 3.0, 4.0)
+        value = float(rng.choice(magnitudes))
+        if self.config.allow_negative_costs and rng.random() < 0.4:
+            self.features.add("neg-cost")
+            return -value
+        return value
+
+    def down_step_dist(self) -> tuple[str, float]:
+        """A distribution with bounded support and strictly negative drift;
+        returns (source text, support minimum)."""
+        rng = self.rng
+        kinds = ["discrete", "three-point"]
+        if self.config.allow_continuous:
+            kinds.append("uniform")
+        kind = rng.choice(kinds)
+        if kind == "uniform":
+            self.features.add("uniform")
+            a, b = float(rng.choice([-3.0, -2.0, -1.5])), float(rng.choice([0.5, 1.0]))
+            return f"uniform({a!r}, {b!r})", a
+        down = int(rng.integers(1, 3))
+        up = int(rng.integers(0, 2))
+        p_down = _dyadic(rng, 9, 15)  # > 1/2
+        if p_down * down <= (1 - p_down) * up:
+            up = 0
+        if kind == "three-point":
+            self.features.add("three-point")
+            p_stall = _dyadic(rng, 1, int(round(16 * (1 - p_down))) or 1)
+            p_stall = min(p_stall, 1.0 - p_down - 1 / 16.0)
+            if p_stall > 0:
+                p_up = 1.0 - p_down - p_stall
+                return (
+                    f"discrete(-{down}: {p_down!r}, 0: {p_stall!r}, "
+                    f"{up}: {p_up!r})",
+                    float(-down),
+                )
+        self.features.add("discrete")
+        return f"discrete(-{down}: {p_down!r}, {up}: {1.0 - p_down!r})", float(-down)
+
+    def up_step_dist(self) -> tuple[str, float]:
+        """Strictly positive drift with bounded support; returns
+        (source text, support maximum) — the recursion templates' climb."""
+        rng = self.rng
+        if self.config.allow_continuous and rng.random() < 0.5:
+            self.features.add("uniform")
+            return "uniform(-1, 2)", 2.0
+        p_up = _dyadic(rng, 10, 14)
+        up = int(rng.integers(1, 3))
+        return f"discrete({up}: {p_up!r}, -1: {1.0 - p_up!r})", float(up)
+
+    def scratch_dist(self) -> str:
+        """Any bounded-support distribution, for scratch-variable samples."""
+        rng = self.rng
+        choices = ["ber", "unifint", "discrete"]
+        if self.config.allow_continuous:
+            choices.append("uniform")
+        kind = rng.choice(choices)
+        if kind == "ber":
+            self.features.add("bernoulli")
+            return f"ber({_dyadic(rng)!r})"
+        if kind == "unifint":
+            self.features.add("unifint")
+            a = int(rng.integers(-2, 1))
+            return f"unifint({a}, {a + int(rng.integers(1, 4))})"
+        if kind == "uniform":
+            self.features.add("uniform")
+            return "uniform(-1, 1)"
+        self.features.add("discrete")
+        p = _dyadic(rng)
+        return f"discrete({int(rng.integers(-2, 0))}: {p!r}, 1: {1.0 - p!r})"
+
+    # -- statement grammar ---------------------------------------------------
+
+    def cost_stmt(self, depth: int, indent: str) -> str:
+        """A statement whose only lasting effect is on cost/scratch state."""
+        rng = self.rng
+        kinds = ["tick", "tick"]
+        if depth > 0:
+            kinds += ["prob", "cond"]
+            if self.config.allow_nondet:
+                kinds.append("ndet")
+            kinds.append("scratch")
+        kind = rng.choice(kinds)
+        inner = indent + "  "
+        if kind == "tick":
+            return f"{indent}tick({self.cost_value()!r})"
+        if kind == "prob":
+            self.features.add("prob")
+            p = _dyadic(rng)
+            then = self.cost_stmt(depth - 1, inner)
+            if rng.random() < 0.5:
+                return f"{indent}if prob({p!r}) then\n{then}\n{indent}fi"
+            other = self.cost_stmt(depth - 1, inner)
+            return (
+                f"{indent}if prob({p!r}) then\n{then}\n"
+                f"{indent}else\n{other}\n{indent}fi"
+            )
+        if kind == "cond":
+            self.features.add("cond")
+            guard = rng.choice(["y >= 0", "y <= 0", "y >= 1", "y == 0"])
+            then = self.cost_stmt(depth - 1, inner)
+            other = self.cost_stmt(depth - 1, inner)
+            return (
+                f"{indent}if {guard} then\n{then}\n"
+                f"{indent}else\n{other}\n{indent}fi"
+            )
+        if kind == "ndet":
+            self.features.add("ndet")
+            then = self.cost_stmt(depth - 1, inner)
+            other = self.cost_stmt(depth - 1, inner)
+            return (
+                f"{indent}if ndet then\n{then}\n"
+                f"{indent}else\n{other}\n{indent}fi"
+            )
+        # scratch: resample y, then charge depending on nothing else.
+        self.features.add("scratch")
+        return (
+            f"{indent}y ~ {self.scratch_dist()};\n"
+            f"{indent}tick({self.cost_value()!r})"
+        )
+
+    def body_extras(self, indent: str) -> list[str]:
+        """Bounded-update filler statements for loop/recursion bodies."""
+        rng = self.rng
+        out = []
+        for _ in range(int(rng.integers(0, self.config.max_body_stmts))):
+            pick = rng.choice(["cost", "scratch-acc"])
+            if pick == "cost":
+                out.append(self.cost_stmt(self.config.max_branch_depth, indent))
+            else:
+                # y := y + t keeps |coeffs on unbounded vars| <= 1.
+                self.features.add("scratch")
+                out.append(f"{indent}y := y + t")
+        return out
+
+    # -- block templates ----------------------------------------------------
+
+    def walk_loop_block(self, *, open_counter: bool = False) -> str:
+        """Downward-drifting counter loop; the bread-and-butter template."""
+        self.features.add("loop")
+        rng = self.rng
+        dist, lowest = self.down_step_dist()
+        if lowest != int(lowest):
+            lowest = float(np.floor(lowest))
+        guard = rng.choice(["x > 0", "x >= 1"])
+        inv = f"x >= {int(lowest)}"
+        body = [
+            f"    t ~ {dist};",
+            "    x := x + t;",
+        ]
+        body.extend(s + ";" for s in self.body_extras("    "))
+        body.append(self.cost_stmt(self.config.max_branch_depth, "    "))
+        lines = []
+        if not open_counter:
+            start = int(rng.integers(2, self.config.max_start + 1))
+            lines.append(f"  x := {start};")
+        lines.append(f"  while {guard} inv({inv}) do")
+        lines.extend(body)
+        lines.append("  od")
+        return "\n".join(lines)
+
+    def recursion_block(self) -> tuple[str, str]:
+        """(function definition, main-block text) for an rdwalk-style climb."""
+        self.features.add("recursion")
+        rng = self.rng
+        name = f"climb{self.fun_count}"
+        self.fun_count += 1
+        dist, max_up = self.up_step_dist()
+        margin = int(max_up)
+        post_call = self.cost_stmt(self.config.max_branch_depth, "    ")
+        fun = (
+            f"func {name}() pre(x < d + {margin}) begin\n"
+            f"  if x < d then\n"
+            f"    t ~ {dist};\n"
+            f"    x := x + t;\n"
+            f"    call {name};\n"
+            f"{post_call}\n"
+            f"  fi\n"
+            f"end"
+        )
+        d = int(rng.integers(2, 8))
+        block = f"  d := {d};\n  x := 0;\n  call {name}"
+        return fun, block
+
+    def geo_block(self) -> tuple[str, str]:
+        """(function definition, main-block text) for a geometric recursion."""
+        self.features.add("geo")
+        rng = self.rng
+        name = f"retry{self.fun_count}"
+        self.fun_count += 1
+        p = _dyadic(rng, 4, 12)
+        body = self.cost_stmt(self.config.max_branch_depth, "    ")
+        fun = (
+            f"func {name}() begin\n"
+            f"  if prob({p!r}) then\n"
+            f"{body};\n"
+            f"    call {name}\n"
+            f"  fi\n"
+            f"end"
+        )
+        return fun, f"  call {name}"
+
+    def straight_block(self) -> str:
+        """Loop-free block: samples, assignments, nested branches."""
+        self.features.add("straight")
+        rng = self.rng
+        lines = [f"  y ~ {self.scratch_dist()};"]
+        for _ in range(int(rng.integers(1, 3))):
+            lines.append(self.cost_stmt(self.config.max_branch_depth, "  ") + ";")
+        lines.append(f"  tick({self.cost_value()!r})")
+        return "\n".join(lines)
+
+
+def generate_case(seed: int, config: FuzzConfig | None = None) -> FuzzCase:
+    """Deterministically generate one well-formed scenario for ``seed``."""
+    config = config or FuzzConfig()
+    builder = _CaseBuilder(seed, config)
+    rng = builder.rng
+
+    kinds = ["walk", "walk", "straight"]
+    if config.allow_recursion:
+        kinds += ["climb", "geo"]
+    open_walk = bool(rng.random() < 0.25)
+
+    functions: list[str] = []
+    blocks: list[str] = []
+    n_blocks = 1 if open_walk else int(rng.integers(1, config.max_blocks + 1))
+    for i in range(n_blocks):
+        kind = rng.choice(kinds)
+        if open_walk:
+            kind = "walk"
+        if kind == "walk":
+            blocks.append(builder.walk_loop_block(open_counter=open_walk))
+        elif kind == "climb":
+            fun, block = builder.recursion_block()
+            functions.append(fun)
+            blocks.append(block)
+        elif kind == "geo":
+            fun, block = builder.geo_block()
+            functions.append(fun)
+            blocks.append(block)
+        else:
+            blocks.append(builder.straight_block())
+
+    if open_walk:
+        builder.features.add("open")
+        header = "func main() pre(x >= 0) begin"
+        start = float(rng.integers(1, config.max_start + 1))
+        initial = {"x": start}
+    else:
+        header = "func main() begin"
+        initial = {}
+
+    main_body = ";\n".join(blocks)
+    source = "\n\n".join(functions + [f"{header}\n{main_body}\nend"]) + "\n"
+
+    program = parse_program(source)  # generator output must always parse
+    from repro.interp.vectorized import collect_variables
+
+    valuation = {name: 0.0 for name in collect_variables(program)}
+    valuation.update(initial)
+    moment_degree = int(rng.choice(config.moment_degrees))
+    return FuzzCase(
+        name=f"fuzz{seed:05d}",
+        seed=seed,
+        source=source,
+        initial=initial,
+        valuation=valuation,
+        moment_degree=moment_degree,
+        features=tuple(sorted(builder.features)),
+    )
+
+
+def generate_corpus(
+    count: int, seed: int = 0, config: FuzzConfig | None = None
+) -> list[FuzzCase]:
+    """``count`` cases for consecutive seeds starting at ``seed``."""
+    return [generate_case(seed + i, config) for i in range(count)]
+
+
+__all__ = ["FuzzCase", "FuzzConfig", "generate_case", "generate_corpus"]

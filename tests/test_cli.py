@@ -65,6 +65,31 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_fuzz_command_verifies_small_corpus(self, tmp_path):
+        out = io.StringIO()
+        code = run(
+            ["fuzz", "--seed", "0", "--count", "3", "--samples", "500",
+             "--out", str(tmp_path / "violations")],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0, text
+        assert "[seeds 0..2]" in text
+        assert "differential soundness: 3 cases" in text
+        # Nothing escaped its interval: no reproducers were dumped.
+        assert not (tmp_path / "violations").exists()
+
+    def test_fuzz_accepts_service_flags(self, tmp_path):
+        out = io.StringIO()
+        code = run(
+            ["fuzz", "--seed", "10", "--count", "2", "--samples", "400",
+             "--jobs", "2", "--executor", "thread", "--backend", "dense",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--out", str(tmp_path / "violations")],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+
     def test_analyze_with_cache_dir_is_reproducible(self, source_file, tmp_path):
         args = ["analyze", source_file, "--at", "d=10,x=0,t=0",
                 "--cache-dir", str(tmp_path / "cache")]

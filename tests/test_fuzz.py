@@ -1,0 +1,122 @@
+"""Property tests for the Appl program fuzzer.
+
+Seeded and dependency-free: every generated case must parse, print
+canonically (the canonical text is a fixpoint of print-then-parse), be
+deterministic in its seed, and satisfy the Theorem 4.4 side conditions its
+templates promise by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro import check_soundness
+from repro.interp.vectorized import collect_variables
+from repro.lang.parser import parse_program
+from repro.lang.printer import canonical_program
+from repro.programs.fuzz import FuzzConfig, generate_case, generate_corpus
+
+SEEDS = list(range(40))
+
+KNOWN_FEATURES = {
+    "loop", "recursion", "geo", "straight", "open",
+    "prob", "cond", "ndet", "scratch", "neg-cost",
+    "discrete", "three-point", "uniform", "unifint", "bernoulli",
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(len(SEEDS), seed=0)
+
+
+class TestWellFormedness:
+    def test_all_cases_parse(self, corpus):
+        for case in corpus:
+            program = parse_program(case.source)
+            assert program.main == "main"
+
+    def test_canonical_text_is_a_fixpoint(self, corpus):
+        """print(parse(print(parse(src)))) == print(parse(src)) — the
+        round-trip property the artifact cache's content addressing needs."""
+        for case in corpus:
+            canon = canonical_program(parse_program(case.source))
+            assert canonical_program(parse_program(canon)) == canon, case.name
+
+    def test_valuation_covers_every_variable(self, corpus):
+        for case in corpus:
+            names = set(collect_variables(case.parse()))
+            assert names <= set(case.valuation), case.name
+
+    def test_initial_consistent_with_valuation(self, corpus):
+        for case in corpus:
+            for name, value in case.initial.items():
+                assert case.valuation[name] == value
+
+    def test_features_and_degrees_declared(self, corpus):
+        config = FuzzConfig()
+        for case in corpus:
+            assert set(case.features) <= KNOWN_FEATURES, case.features
+            assert case.moment_degree in set(config.moment_degrees)
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        for seed in (0, 7, 123, 99991):
+            a, b = generate_case(seed), generate_case(seed)
+            assert a.source == b.source
+            assert a.moment_degree == b.moment_degree
+            assert a.initial == b.initial
+
+    def test_different_seeds_vary(self):
+        sources = {generate_case(seed).source for seed in range(30)}
+        assert len(sources) >= 25  # near-unique; collisions allowed but rare
+
+
+class TestSoundnessByConstruction:
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_side_conditions_hold(self, seed):
+        case = generate_case(seed)
+        report = check_soundness(case.parse(), 2)
+        assert report.bounded_update.ok, (case.name, report.summary())
+        assert report.termination.ok, (case.name, report.summary())
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_simulation_terminates(self, seed):
+        from repro.interp.mc import simulate_costs
+
+        case = generate_case(seed)
+        costs = simulate_costs(
+            case.parse(), 400, seed=1, initial=case.initial,
+            max_steps=200_000, engine="vectorized",
+        )
+        assert len(costs) == 400  # no timeouts
+
+
+class TestConfig:
+    def test_feature_toggles_respected(self):
+        config = FuzzConfig(
+            allow_nondet=False,
+            allow_recursion=False,
+            allow_continuous=False,
+            allow_negative_costs=False,
+        )
+        for seed in range(25):
+            case = generate_case(seed, config)
+            feats = set(case.features)
+            assert not feats & {"ndet", "recursion", "geo", "neg-cost"}
+            assert "uniform" not in feats  # unifint/discrete remain allowed
+
+    def test_moment_degrees_drawn_from_config(self):
+        config = FuzzConfig(moment_degrees=(3,))
+        assert all(
+            generate_case(seed, config).moment_degree == 3 for seed in range(10)
+        )
+
+    def test_open_cases_declare_precondition(self):
+        opens = [c for c in generate_corpus(60, seed=0) if "open" in c.features]
+        assert opens  # the family is exercised
+        for case in opens:
+            assert "pre(x >= 0)" in case.source
+            assert case.initial.get("x", 0) >= 1
+            rng_start = case.valuation["x"]
+            assert rng_start == case.initial["x"]

@@ -1,16 +1,187 @@
-"""Randomized end-to-end soundness testing.
+"""Randomized end-to-end soundness testing, in two tiers.
 
-Generates random downward-drifting walk programs (random step laws, costs,
-guards), analyzes them, and checks that the inferred intervals bracket
-Monte-Carlo estimates of the first two raw moments and the variance.  This
-is the strongest correctness property the analyzer promises, exercised on
-programs nobody hand-tuned.
+**Tier 1 (this file, runs in every CI leg):** a fixed-seed corpus of
+generated Appl programs through the full differential harness
+(:mod:`repro.soundness.differential`) at small sample counts — analyzer
+vs. vectorized Monte Carlo, bracketing up to the CLT margin — plus the
+original hand-rolled random-walk brackets that predate the harness.
+
+**Tier 2 (deep mode, nightly):** ``python -m repro fuzz --budget SECONDS``
+fuzzes fresh seeds until the time budget is spent and uploads minimized
+reproducers for any violation (``.github/workflows/nightly-fuzz.yml``).
+The deep mode's machinery (budget loop, violation artifacts, exit codes)
+is smoke-tested here so the nightly job cannot rot silently.
 """
+
+import json
+import pathlib
 
 import numpy as np
 import pytest
 
 from repro import AnalysisOptions, analyze, estimate_cost_statistics, parse_program
+from repro.programs.fuzz import generate_corpus
+from repro.soundness.differential import (
+    ANALYZER_INFEASIBLE,
+    VERIFIED,
+    DifferentialConfig,
+    DifferentialReport,
+    check_case,
+    run_differential,
+)
+
+# ---------------------------------------------------------------------------
+# Tier 1: differential corpus (fixed seeds, small N)
+# ---------------------------------------------------------------------------
+
+TIER1_COUNT = 24
+TIER1_CONFIG = DifferentialConfig(samples=1500, max_steps=150_000)
+
+
+@pytest.fixture(scope="module")
+def tier1_report() -> DifferentialReport:
+    corpus = generate_corpus(TIER1_COUNT, seed=0)
+    return run_differential(corpus, TIER1_CONFIG, jobs=4)
+
+
+class TestTier1Corpus:
+    def test_zero_violations(self, tier1_report):
+        assert tier1_report.ok, tier1_report.summary()
+
+    def test_mostly_verified(self, tier1_report):
+        """Analyzer infeasibility is an acceptable classification, but if
+        it dominates the corpus the harness is not testing anything."""
+        counts = tier1_report.counts()
+        assert counts[VERIFIED] >= TIER1_COUNT * 0.8, tier1_report.summary()
+        assert counts[VERIFIED] + counts[ANALYZER_INFEASIBLE] == TIER1_COUNT
+
+    def test_every_verified_case_checked_all_moments(self, tier1_report):
+        for outcome in tier1_report.by_status(VERIFIED):
+            raw_ks = {
+                c.k for c in outcome.checks if c.kind == "raw"
+            }
+            assert raw_ks == set(range(1, outcome.case.moment_degree + 1))
+            if outcome.case.moment_degree >= 2:
+                assert any(c.kind == "central" for c in outcome.checks)
+
+    def test_ndet_cases_checked_under_all_policies(self, tier1_report):
+        ndet = [
+            o for o in tier1_report.by_status(VERIFIED)
+            if "ndet" in o.case.features
+        ]
+        if not ndet:
+            pytest.skip("corpus drew no nondeterministic verified case")
+        for outcome in ndet:
+            assert {c.policy for c in outcome.checks} == {
+                "random", "left", "right",
+            }
+
+
+class TestSingleCaseHarness:
+    def test_check_case_roundtrip(self):
+        case = generate_corpus(1, seed=5)[0]
+        outcome = check_case(case, TIER1_CONFIG)
+        assert outcome.status in (VERIFIED, ANALYZER_INFEASIBLE)
+        assert outcome.analyze_seconds > 0
+
+    def test_violation_detected_minimized_and_dumped(self, tmp_path):
+        """Inject a genuine mismatch (analyze at x=1, simulate from x=9):
+        the harness must classify it as a violation, shrink the program,
+        and dump a reproducer with a machine-readable report."""
+        from dataclasses import replace
+
+        base = next(
+            c for c in generate_corpus(40, seed=0) if "open" in c.features
+        )
+        bad = replace(
+            base, initial={"x": 9.0}, valuation={**base.valuation, "x": 1.0}
+        )
+        report = run_differential(
+            [bad],
+            DifferentialConfig(samples=1200, minimize_budget=60),
+            out_dir=str(tmp_path),
+        )
+        assert not report.ok
+        (violation,) = report.violations
+        assert violation.minimized is not None
+        assert len(violation.minimized) <= len(bad.source)
+        case_dir = pathlib.Path(violation.artifact_dir)
+        assert (case_dir / "program.appl").exists()
+        assert (case_dir / "original.appl").exists()
+        payload = json.loads((case_dir / "report.json").read_text())
+        assert payload["status"] == "violation"
+        assert payload["seed"] == bad.seed
+        assert any(not c["ok"] for c in payload["checks"])
+        # The minimized reproducer must re-parse and still be a program.
+        parse_program((case_dir / "program.appl").read_text())
+
+    def test_unminimized_violation_still_dumps_reproducer(self, tmp_path):
+        """program.appl (the documented entry point) must exist even when
+        shrinking is disabled — it is then the as-generated source."""
+        from dataclasses import replace
+
+        base = next(
+            c for c in generate_corpus(40, seed=0) if "open" in c.features
+        )
+        bad = replace(
+            base, initial={"x": 9.0}, valuation={**base.valuation, "x": 1.0}
+        )
+        report = run_differential(
+            [bad],
+            DifferentialConfig(samples=1200, minimize=False),
+            out_dir=str(tmp_path),
+        )
+        (violation,) = report.violations
+        assert violation.minimized is None
+        case_dir = pathlib.Path(violation.artifact_dir)
+        assert (case_dir / "program.appl").read_text() == bad.source
+
+
+# ---------------------------------------------------------------------------
+# Tier 2 plumbing: the deep mode the nightly job drives
+# ---------------------------------------------------------------------------
+
+
+class TestDeepModePlumbing:
+    def test_budget_mode_runs_multiple_batches(self, tmp_path):
+        import io
+
+        from repro.cli import run
+
+        out = io.StringIO()
+        code = run(
+            [
+                "fuzz", "--seed", "7000", "--count", "2", "--budget", "0.01",
+                "--samples", "300", "--out", str(tmp_path / "violations"),
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0, text
+        assert "[seeds 7000..7001]" in text
+        assert "deep mode total:" in text
+
+    def test_one_shot_mode_exit_codes(self, tmp_path):
+        import io
+
+        from repro.cli import run
+
+        out = io.StringIO()
+        code = run(
+            [
+                "fuzz", "--seed", "3", "--count", "2", "--samples", "400",
+                "--out", str(tmp_path / "violations"),
+            ],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+        assert "deep mode" not in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# The original hand-rolled walks (kept: they predate the generator and
+# exercise the symbolic-initial-state path at higher sample counts)
+# ---------------------------------------------------------------------------
 
 
 def make_walk(seed: int) -> tuple[str, dict[str, float]]:
@@ -51,7 +222,9 @@ def test_random_walks_bracket_simulation(seed):
         program,
         AnalysisOptions(moment_degree=2, objective_valuations=(valuation,)),
     )
-    stats = estimate_cost_statistics(program, n=3000, seed=seed + 100, initial=init)
+    stats = estimate_cost_statistics(
+        program, n=3000, seed=seed + 100, initial=init, engine="vectorized"
+    )
 
     e1 = result.raw_interval(1, valuation)
     e2 = result.raw_interval(2, valuation)
@@ -91,7 +264,9 @@ def test_negative_cost_variant_brackets():
     result = analyze(
         program, AnalysisOptions(moment_degree=2, objective_valuations=(valuation,))
     )
-    stats = estimate_cost_statistics(program, n=4000, seed=3, initial={"x": 8.0})
+    stats = estimate_cost_statistics(
+        program, n=4000, seed=3, initial={"x": 8.0}, engine="vectorized"
+    )
     e1 = result.raw_interval(1, valuation)
     assert e1.lo - 1.0 <= stats.mean <= e1.hi + 1.0
     assert stats.mean < 0  # it really is a reward

@@ -1,0 +1,210 @@
+"""Property tests for the batched Monte-Carlo engine.
+
+The vectorized engine consumes the seeded random stream in a different
+order than the scalar :class:`~repro.interp.machine.Machine` (cohort draws
+vs. one stream per trajectory), so parity is *distributional*: exact on
+deterministic programs, statistical (CLT-margin moment agreement on
+identical programs/seeds) on probabilistic ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.interp.machine import Machine
+from repro.interp.mc import estimate_cost_statistics, simulate_costs
+from repro.interp.vectorized import (
+    OP_CALL,
+    OP_RET,
+    VectorizedMachine,
+    collect_variables,
+    compile_program,
+    simulate_costs_vectorized,
+)
+from repro.lang.parser import parse_program
+from repro.programs import registry
+from repro.programs.synthetic import coupon_chain, rdwalk_chain
+
+DET_SOURCE = """
+func main() begin
+  x := 3;
+  while x > 0 do
+    tick(2);
+    x := x - 1
+  od;
+  tick(-1)
+end
+"""
+
+
+class TestCompilation:
+    def test_collect_variables_sorted_and_complete(self):
+        program = registry.parsed("rdwalk")
+        assert collect_variables(program) == ("d", "t", "x")
+
+    def test_tail_calls_are_eliminated(self):
+        """Coupon chains are pure tail recursion: after TCO the bytecode
+        contains no CALL/RET except the entry call into main."""
+        compiled = compile_program(coupon_chain(6))
+        calls = [op for op, _, _ in compiled.ops if op == OP_CALL]
+        assert len(calls) == 1  # instruction 0: CALL main
+        # RETs survive as dead code after rewritten calls; none reachable
+        # matters only for speed, but main's body must end without one live.
+
+    def test_non_tail_recursion_keeps_calls(self):
+        """rdwalk ticks *after* the call — the call must stay a real call."""
+        compiled = compile_program(registry.parsed("rdwalk"))
+        calls = [op for op, _, _ in compiled.ops if op == OP_CALL]
+        rets = [op for op, _, _ in compiled.ops if op == OP_RET]
+        assert len(calls) >= 2 and rets
+
+
+class TestExactParity:
+    def test_deterministic_program_matches_machine(self):
+        program = parse_program(DET_SOURCE)
+        scalar = Machine(program).run(np.random.default_rng(0))
+        batch = VectorizedMachine(program).run(64, np.random.default_rng(0))
+        assert batch.terminated.all()
+        assert (batch.costs == scalar.cost).all()
+        x_col = batch.variables.index("x")
+        assert (batch.valuations[:, x_col] == scalar.valuation["x"]).all()
+
+    def test_initial_valuation_applied(self):
+        program = parse_program("func main() begin tick(1); y := x end")
+        batch = VectorizedMachine(program).run(
+            8, np.random.default_rng(0), initial={"x": 7.0}
+        )
+        assert (batch.valuations[:, batch.variables.index("y")] == 7.0).all()
+        assert batch.valuation_of(3) == {"x": 7.0, "y": 7.0}
+
+    def test_same_seed_reproduces_exactly(self):
+        program = registry.parsed("rdwalk")
+        a = simulate_costs_vectorized(program, 500, seed=9, initial={"d": 6.0})
+        b = simulate_costs_vectorized(program, 500, seed=9, initial={"d": 6.0})
+        assert (a == b).all()
+
+    def test_timeout_reported_per_trajectory(self):
+        program = parse_program("func main() begin while true do tick(1) od end")
+        batch = VectorizedMachine(program).run(
+            5, np.random.default_rng(0), max_steps=300
+        )
+        assert not batch.terminated.any()
+        assert (batch.steps >= 300).all()
+        assert batch.terminated_costs.size == 0
+
+    def test_mixed_timeout_drops_only_divergent_rows(self):
+        # Diverges iff the first coin flip goes to the else-branch.
+        program = parse_program(
+            """
+            func main() begin
+              if prob(0.5) then tick(1)
+              else while true do tick(1) od
+              fi
+            end
+            """
+        )
+        batch = VectorizedMachine(program).run(
+            200, np.random.default_rng(3), max_steps=2000
+        )
+        assert 0 < batch.terminated.sum() < 200
+        assert (batch.terminated_costs == 1.0).all()
+
+
+class TestDistributionalParity:
+    """Same program + seed through both engines: every tested moment must
+    agree within a 5-sigma CLT band (the engines draw different samples
+    from the same law)."""
+
+    CASES = [
+        ("rdwalk", {"d": 10.0}),
+        ("geo", {}),
+        ("rdwalk-var2", {"x": 20.0}),
+        ("kura-2-3", {"x": 2.0}),  # demonic nondeterminism, random policy
+    ]
+
+    @pytest.mark.parametrize("name,init", CASES)
+    def test_moments_agree(self, name, init):
+        program = registry.parsed(name)
+        n = 4000
+        scalar = estimate_cost_statistics(
+            program, n=n, seed=11, degree=2, initial=init, engine="machine"
+        )
+        vector = estimate_cost_statistics(
+            program, n=n, seed=11, degree=2, initial=init, engine="vectorized"
+        )
+        assert scalar.timeouts == vector.timeouts == 0
+        for k in (1, 2):
+            se = max(scalar.moment_stderr(k), vector.moment_stderr(k), 1e-12)
+            assert abs(scalar.raw[k] - vector.raw[k]) < 5 * np.sqrt(2) * se, (
+                name, k, scalar.raw[k], vector.raw[k],
+            )
+
+    def test_chained_walks_match(self):
+        program = rdwalk_chain(2)
+        scalar = simulate_costs(program, 3000, seed=2, engine="machine")
+        vector = simulate_costs(program, 3000, seed=2, engine="vectorized")
+        se = np.hypot(
+            np.std(scalar) / np.sqrt(len(scalar)),
+            np.std(vector) / np.sqrt(len(vector)),
+        )
+        assert abs(np.mean(scalar) - np.mean(vector)) < 5 * se
+
+    def test_uniform_sampling_respects_support(self):
+        program = parse_program(
+            "func main() begin t ~ uniform(-1, 2); x := t end"
+        )
+        batch = VectorizedMachine(program).run(4000, np.random.default_rng(0))
+        xs = batch.valuations[:, batch.variables.index("x")]
+        assert xs.min() >= -1.0 and xs.max() <= 2.0
+        assert abs(xs.mean() - 0.5) < 0.06
+
+
+class TestNondetPolicies:
+    SOURCE = "func main() begin if ndet then tick(1) else tick(2) fi end"
+
+    def test_named_policies(self):
+        program = parse_program(self.SOURCE)
+        left = VectorizedMachine(program, "left").run(20, np.random.default_rng(0))
+        right = VectorizedMachine(program, "right").run(20, np.random.default_rng(0))
+        both = VectorizedMachine(program, "random").run(200, np.random.default_rng(0))
+        assert set(left.costs) == {1.0}
+        assert set(right.costs) == {2.0}
+        assert set(both.costs) == {1.0, 2.0}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown nondet policy"):
+            VectorizedMachine(parse_program(self.SOURCE), "angelic")
+
+    def test_mc_facade_maps_machine_policies(self):
+        from repro.interp.machine import left_policy
+
+        program = parse_program(self.SOURCE)
+        costs = simulate_costs(
+            program, 10, nondet_policy=left_policy, engine="vectorized"
+        )
+        assert set(costs) == {1.0}
+        with pytest.raises(TypeError, match="batch-wide"):
+            simulate_costs(
+                program, 10,
+                nondet_policy=lambda s, v, r: True, engine="vectorized",
+            )
+
+    def test_mc_facade_accepts_policy_names_for_machine(self):
+        program = parse_program(self.SOURCE)
+        assert set(simulate_costs(program, 5, nondet_policy="right")) == {2.0}
+        with pytest.raises(ValueError, match="unknown nondet policy"):
+            simulate_costs(program, 5, nondet_policy="angelic")
+
+
+class TestMcFacade:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_costs(parse_program(DET_SOURCE), 5, engine="gpu")
+
+    def test_statistics_store_samples(self):
+        program = parse_program(DET_SOURCE)
+        stats = estimate_cost_statistics(program, n=50, engine="vectorized")
+        assert stats.costs.shape == (50,)
+        assert stats.tail_probability(5.0) == 1.0
+        assert stats.tail_probability(5.1) == 0.0
+        assert stats.quantile(0.5) == 5.0
+        assert stats.moment_stderr(1) == 0.0
