@@ -9,12 +9,44 @@ stable artifact.
 from __future__ import annotations
 
 import pathlib
+import statistics
+import time
+from typing import Callable
 
 from repro import AnalysisOptions, analyze
 from repro.analysis.results import MomentBoundResult
 from repro.programs import registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def timed_median(
+    fn: Callable[[], object],
+    *,
+    rounds: int = 3,
+    warmup: int = 1,
+    setup: Callable[[], object] | None = None,
+) -> tuple[float, list[float]]:
+    """Median-of-``rounds`` wall time of ``fn``, after ``warmup`` runs.
+
+    The CI regression gate compares one number per benchmark against a
+    committed baseline; a single run is hostage to scheduler noise, so every
+    timed benchmark reports the median of several measured rounds with the
+    first (cache/JIT/allocator-warming) runs discarded.  ``setup`` runs
+    before *every* round, outside the timed window — use it to reset
+    process-wide memo tables so each round measures a cold start.
+    Returns ``(median_seconds, measured_times)``.
+    """
+    times: list[float] = []
+    for i in range(warmup + rounds):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if i >= warmup:
+            times.append(elapsed)
+    return statistics.median(times), times
 
 
 def run_registered(

@@ -26,10 +26,39 @@ from typing import Callable
 from repro.lang.ast import Distribution
 from repro.lp.affine import AffForm
 from repro.lp.problem import LPProblem
+from repro.poly.kernel import (
+    ExpectationPlan,
+    TermAccumulator,
+    kernel_enabled,
+    substitution_plan,
+)
 from repro.poly.monomial import monomials_up_to_degree
 from repro.poly.polynomial import Polynomial
 from repro.rings.interval import Interval
 from repro.rings.moment import binomial
+
+
+def _accumulate_interval(sources) -> "PolyInterval":
+    """Fused ``Σ scalar·iv`` over ``(PolyInterval, scalar)`` pairs.
+
+    The single home of the accumulation loop shared by ``prefix_cost``,
+    ``prob_mix`` and ``oplus_all``: zero scalars contribute nothing (like
+    ``Polynomial.scale(0)``), interval ends swap under negative scalars
+    (like ``PolyInterval.scale``), and contributions stream through
+    :class:`~repro.poly.kernel.TermAccumulator` in source order — the exact
+    ``_add_term`` sequence the legacy chained form performs, so results are
+    bit-identical to it.
+    """
+    lo_acc, hi_acc = TermAccumulator(), TermAccumulator()
+    for iv, scalar in sources:
+        if scalar == 0:
+            continue
+        lo_src, hi_src = (iv.lo, iv.hi) if scalar >= 0 else (iv.hi, iv.lo)
+        for mono, c in lo_src.coeffs.items():
+            lo_acc.add(mono, c, scalar)
+        for mono, c in hi_src.coeffs.items():
+            hi_acc.add(mono, c, scalar)
+    return PolyInterval(lo_acc.to_polynomial(), hi_acc.to_polynomial())
 
 
 @dataclass
@@ -122,17 +151,58 @@ class MomentAnnotation:
             [a + b for a, b in zip(self.intervals, other.intervals)]
         )
 
+    @staticmethod
+    def oplus_all(annotations: "list[MomentAnnotation]") -> "MomentAnnotation":
+        """``a_1 ⊕ a_2 ⊕ ... ⊕ a_n`` in one accumulation pass.
+
+        Bit-identical to the left fold of :meth:`oplus` (same merge
+        sequence per monomial); with the symbolic kernel enabled the
+        intermediate annotations are never materialized.
+        """
+        if not annotations:
+            raise ValueError("oplus_all of no annotations")
+        if len(annotations) == 1:
+            return annotations[0]
+        if not kernel_enabled():
+            folded = annotations[0]
+            for ann in annotations[1:]:
+                folded = folded.oplus(ann)
+            return folded
+        width = len(annotations[0].intervals)
+        if any(len(a.intervals) != width for a in annotations):
+            raise ValueError("annotations of different moment orders")
+        return MomentAnnotation(
+            [
+                _accumulate_interval((a.intervals[k], 1.0) for a in annotations)
+                for k in range(width)
+            ]
+        )
+
     def prefix_cost(self, cost: float) -> "MomentAnnotation":
         """``<[cost^k, cost^k]>_{k} ⊗ self`` — rule (Q-Tick).
 
         The binomial convolution of eq. (7) where the left operand is the
-        (point-interval) moment vector of the deterministic cost.
+        (point-interval) moment vector of the deterministic cost.  With the
+        symbolic kernel enabled the convolution accumulates into one
+        mutable polynomial per interval end — the same ``_add_term``
+        sequence the chained interval sums below perform, minus the
+        per-step dict copies (bit-identical results, linear allocation).
         """
         m = self.degree
         powers = [1.0]
         for _ in range(m):
             powers.append(powers[-1] * cost)
-        result: list[PolyInterval] = []
+        if kernel_enabled():
+            return MomentAnnotation(
+                [
+                    _accumulate_interval(
+                        (self.intervals[k - i], binomial(k, i) * powers[i])
+                        for i in range(k + 1)
+                    )
+                    for k in range(m + 1)
+                ]
+            )
+        result = []
         for k in range(m + 1):
             acc = PolyInterval.zero()
             for i in range(k + 1):
@@ -147,16 +217,58 @@ class MomentAnnotation:
             raise ValueError("probability scale must be nonnegative")
         return MomentAnnotation([iv.scale(p) for iv in self.intervals])
 
+    def prob_mix(self, p: float, other: "MomentAnnotation") -> "MomentAnnotation":
+        """``self.scale(p) ⊕ other.scale(1 - p)`` — the (Q-Prob) mix.
+
+        With the symbolic kernel enabled the two scalings and the interval
+        sum fuse into one accumulation pass per interval end (the same
+        ``_add_term`` sequence, so results are bit-identical to the chained
+        form), skipping two full intermediate annotations per branch point.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("branch probability must lie in [0, 1]")
+        q = 1.0 - p
+        if not kernel_enabled():
+            return self.scale(p).oplus(other.scale(q))
+        if len(self.intervals) != len(other.intervals):
+            raise ValueError("annotations of different moment orders")
+        return MomentAnnotation(
+            [
+                _accumulate_interval(((iv_a, p), (iv_b, q)))
+                for iv_a, iv_b in zip(self.intervals, other.intervals)
+            ]
+        )
+
     # -- statement transfers -----------------------------------------------------------
 
     def substitute(self, var: str, poly: Polynomial) -> "MomentAnnotation":
-        """Rule (Q-Assign): ``Q[poly / var]`` on every interval end."""
+        """Rule (Q-Assign): ``Q[poly / var]`` on every interval end.
+
+        With the symbolic kernel enabled, all ``2*(m+1)`` interval ends
+        share one memoized :class:`~repro.poly.kernel.SubstitutionPlan`, so
+        every monomial's expansion is computed once per (var, replacement)
+        pair per process rather than once per end per statement.
+        """
+        if kernel_enabled() and poly.is_concrete():
+            plan = substitution_plan(var, poly)
+            return MomentAnnotation(
+                [iv.map_ends(plan.apply) for iv in self.intervals]
+            )
         return MomentAnnotation(
             [iv.map_ends(lambda e: e.substitute(var, poly)) for iv in self.intervals]
         )
 
     def expect(self, var: str, dist: Distribution) -> "MomentAnnotation":
-        """Rule (Q-Sample): ``E_{var ~ dist}[Q]`` on every interval end."""
+        """Rule (Q-Sample): ``E_{var ~ dist}[Q]`` on every interval end.
+
+        The per-monomial moment replacements are shared across the interval
+        ends through one :class:`~repro.poly.kernel.ExpectationPlan`.
+        """
+        if kernel_enabled():
+            plan = ExpectationPlan(var, dist.moment)
+            return MomentAnnotation(
+                [iv.map_ends(plan.apply) for iv in self.intervals]
+            )
         return MomentAnnotation(
             [
                 iv.map_ends(lambda e: e.expect_powers(var, dist.moment))

@@ -25,6 +25,15 @@ constraint system pristine for the next objective.
 ``analyze`` is the one-shot convenience wrapper (what the CLI and the old
 ``engine.analyze`` call); ``analyze_many`` is the batch driver that runs a
 workload of programs concurrently via :mod:`concurrent.futures`.
+
+Timing: each artifact records its own wall time (``derive_seconds`` on the
+constraint system, ``solve_seconds`` on the solution), splitting derivation
+from solving — the two roughly co-equal cost centers.  Derivation runs on
+the vectorized symbolic kernel (:mod:`repro.poly.kernel`,
+:mod:`repro.logic.handelman`); ``repro analyze --profile`` prints the
+per-stage split with cProfile hotspots, and
+``benchmarks/bench_constraint_derivation.py`` tracks the derivation share
+across PRs (``BENCH_constraints.json``).
 """
 
 from __future__ import annotations

@@ -86,10 +86,7 @@ class SpecTable:
         if cached is not None:
             return cached
         spec = self.specs[name]
-        pre = spec.pres[level]
-        post = spec.posts[level]
-        for h in range(level + 1, self.m + 1):
-            pre = pre.oplus(spec.pres[h])
-            post = post.oplus(spec.posts[h])
+        pre = MomentAnnotation.oplus_all(spec.pres[level:])
+        post = MomentAnnotation.oplus_all(spec.posts[level:])
         self._summaries[key] = (pre, post)
         return pre, post

@@ -17,6 +17,14 @@ pre-annotation and emitting linear constraints into the LP:
                 containment between the summary post and the call-site post
 * (Q-Weaken)  — Handelman certificates (:mod:`repro.logic.handelman`)
 
+Certificate emission is the hot path of derivation: every containment emits
+``2*(m+1)`` certificates under the *same* context, and the pre/post pairs of
+branches and loop edges revisit identical constraint sets.  The emitter
+memoizes the certificate product sets per ``(context, degree)``
+(:func:`repro.logic.handelman.certificate_basis`), so within one containment
+— and across all containments that share a context — the products are
+enumerated once and streamed into the LP as precomputed columns.
+
 In *unit-cost mode* (Appendix G, termination-moment analysis) every atomic
 statement, branch point, and loop-guard evaluation is additionally composed
 with the unit cost vector ``<1,...,1>``; tick costs are ignored (the measured
@@ -68,6 +76,15 @@ class Deriver:
     upper_only: bool = False
     degree_cap: int | None = None
     _counter: int = field(default=0, init=False)
+    _degrees: tuple[int, ...] = field(default=(), init=False)
+
+    def __post_init__(self) -> None:
+        # Component degrees are pure in (k, d, cap): compute the vector once
+        # instead of per containment per component.
+        self._degrees = tuple(
+            component_degree(k, self.template_degree, self.degree_cap)
+            for k in range(self.m + 1)
+        )
 
     # -- helpers -----------------------------------------------------------------
 
@@ -107,9 +124,9 @@ class Deriver:
         if not self.upper_only:
             return
         for k in range(1, self.m + 1):
-            degree = component_degree(k, self.template_degree, self.degree_cap)
             emit_nonneg_certificate(
-                self.lp, ctx, ann.intervals[k].hi, degree, label=f"{label}.nn{k}"
+                self.lp, ctx, ann.intervals[k].hi, self._degrees[k],
+                label=f"{label}.nn{k}",
             )
 
     def contain(
@@ -125,10 +142,11 @@ class Deriver:
         under ``ctx``, via Handelman certificates with products up to the
         component's template degree.  The differences are never materialized
         as polynomials — both operands stream into the certificate emitter's
-        per-monomial builders (``minus=``).
+        per-monomial builders (``minus=``) — and the hi/lo pair of every
+        component reuses the same memoized certificate basis for ``ctx``.
         """
         for k in range(self.m + 1):
-            degree = component_degree(k, self.template_degree, self.degree_cap)
+            degree = self._degrees[k]
             emit_nonneg_certificate(
                 self.lp,
                 ctx,
@@ -175,7 +193,7 @@ class Deriver:
         if isinstance(stmt, ProbBranch):
             pre_then = self.derive(stmt.then_branch, post, level)
             pre_else = self.derive(stmt.else_branch, post, level)
-            mixed = pre_then.scale(stmt.prob).oplus(pre_else.scale(1.0 - stmt.prob))
+            mixed = pre_then.prob_mix(stmt.prob, pre_else)
             return self._charge_step(mixed)
 
         if isinstance(stmt, IfBranch):

@@ -20,6 +20,11 @@ and violations exit non-zero with a minimized reproducer under ``--out``.
 ``--budget SECONDS`` is the nightly deep mode (fresh seeds until the budget
 is spent); the default one-shot mode is the tier-1 corpus.
 
+``repro analyze --profile [N]`` runs each pipeline stage under ``cProfile``
+and prints the top-N cumulative hotspots per stage plus the
+derivation-vs-solve wall-time split — the starting point for performance
+work.
+
 ``--cache-dir`` (``analyze``, ``batch``, ``serve``) attaches the
 content-addressed artifact cache at the given directory, so repeated
 analyses of unchanged programs — across commands, processes, and sessions —
@@ -115,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument(
         "--simulate", type=int, default=0, metavar="N",
         help="cross-check with N Monte-Carlo runs",
+    )
+    analyze_cmd.add_argument(
+        "--profile", nargs="?", const=10, type=int, default=None, metavar="N",
+        help="run each pipeline stage under cProfile and print the top N "
+        "cumulative hotspots per stage (default N=10) plus the "
+        "derivation-vs-solve wall-time split",
     )
     _add_backend_flag(analyze_cmd)
     _add_cache_flag(analyze_cmd)
@@ -231,7 +242,11 @@ def _run_analyze(args, out) -> int:
         objective_valuations=valuations,
         backend=args.backend,
     )
-    result = AnalysisPipeline(program, artifacts=_make_cache(args)).analyze(options)
+    pipeline = AnalysisPipeline(program, artifacts=_make_cache(args))
+    if args.profile is not None:
+        result = _profiled_analyze(pipeline, options, args.profile, out)
+    else:
+        result = pipeline.analyze(options)
     print(result.summary(), file=out)
 
     if args.check:
@@ -249,6 +264,54 @@ def _run_analyze(args, out) -> int:
             file=out,
         )
     return 0
+
+
+def _profiled_analyze(pipeline, options, top: int, out):
+    """Run the pipeline stage by stage under cProfile (``--profile``).
+
+    Perf work on the analyzer keeps re-deriving the same starting point —
+    which stage dominates, and which functions inside it.  This prints, per
+    stage (static/context/constraints/solve), the wall time and the top-N
+    cumulative-time hotspots, so the next optimization PR starts from data
+    instead of folklore.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    stages = [
+        ("static", pipeline.static_info),
+        ("context", pipeline.context_map),
+        ("constraints", lambda: pipeline.constraint_system(options)),
+        ("solve", lambda: pipeline.solve(options)),
+    ]
+    walls: dict[str, float] = {}
+    for name, stage in stages:
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        stage()
+        profiler.disable()
+        walls[name] = time.perf_counter() - start
+        text = io.StringIO()
+        stats = pstats.Stats(profiler, stream=text).sort_stats("cumulative")
+        stats.print_stats(top)
+        body = text.getvalue()
+        # Drop pstats' preamble up to the table header; keep it compact.
+        header = body.index("ncalls") if "ncalls" in body else 0
+        print(f"--- profile: {name} stage ({walls[name]:.3f}s wall) ---", file=out)
+        print(body[header:].rstrip() or "(nothing measurable)", file=out)
+    total = sum(walls.values())
+    derivation = walls["static"] + walls["context"] + walls["constraints"]
+    print(
+        f"--- stage split: derivation {derivation:.3f}s "
+        f"(static {walls['static']:.3f}s, context {walls['context']:.3f}s, "
+        f"constraints {walls['constraints']:.3f}s), "
+        f"solve {walls['solve']:.3f}s, total {total:.3f}s ---",
+        file=out,
+    )
+    return pipeline.analyze(options)
 
 
 def _run_batch(args, out) -> int:

@@ -16,11 +16,23 @@ section 2 for why the substitution is behaviour-preserving.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.lang.ast import Cond, Expr
 from repro.logic import entail
 from repro.logic.linear import LinExpr, LinIneq, cond_to_ineqs
+
+
+#: Structural context key -> int id, process-wide (see ``cache_key``).  The
+#: dict is capped: on overflow it is cleared, but ids keep counting up from
+#: ``_KEY_COUNTER`` — an id, once issued, is never reused, so a stale id
+#: cached on a live Context can never collide with a fresh one (it just
+#: misses the downstream certificate-basis memo and recomputes).
+_KEY_INTERN: dict[tuple, int] = {}
+_KEY_COUNTER = 0
+_KEY_INTERN_CAP = 16384
+_KEY_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -131,6 +143,49 @@ class Context:
         return self._with(kept)
 
     # -- queries -----------------------------------------------------------------
+
+    @property
+    def cache_key(self) -> int:
+        """A small interned integer identifying this context's constraints.
+
+        Used by :mod:`repro.logic.handelman` to memoize certificate product
+        sets per ``(context, degree)``: the derivation system re-visits the
+        same handful of contexts hundreds of times (pre/post pairs of every
+        containment, loop back/exit edges, all ``m+1`` moment components),
+        and the products depend only on ``ineqs``.  Interning the structural
+        key once per distinct context (and caching the id on the instance —
+        contexts are frozen, so it cannot go stale) keeps the per-emission
+        memo probe to one int hash instead of re-hashing the inequality
+        tuples on every certificate.
+        """
+        try:
+            return self._cache_key  # type: ignore[attr-defined]
+        except AttributeError:
+            global _KEY_COUNTER
+            structural = (self.ineqs, self.bottom)
+            with _KEY_LOCK:
+                key = _KEY_INTERN.get(structural)
+                if key is None:
+                    if len(_KEY_INTERN) >= _KEY_INTERN_CAP:
+                        # Unbounded workloads (serve, nightly fuzz budgets)
+                        # must not grow this forever; ids stay monotone so
+                        # already-issued keys remain unambiguous.
+                        _KEY_INTERN.clear()
+                    key = _KEY_COUNTER
+                    _KEY_COUNTER += 1
+                    _KEY_INTERN[structural] = key
+            object.__setattr__(self, "_cache_key", key)
+            return key
+
+    def __getstate__(self):
+        # ``_cache_key`` is a process-local intern id; a pickled copy landing
+        # in another process (artifact cache, process executor) must re-intern.
+        state = dict(self.__dict__)
+        state.pop("_cache_key", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     def entails(self, ineq: LinIneq) -> bool:
         if self.bottom:

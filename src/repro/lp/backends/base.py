@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable
 
 from repro.lp.core import LPSolution
 
@@ -89,8 +89,13 @@ class LPBackend(abc.ABC):
     # -- row storage --------------------------------------------------------
 
     @abc.abstractmethod
-    def add_row(self, kind: str, terms: Iterable[tuple[int, float]], const: float) -> int:
-        """Append a row of ``kind`` and return its index within that kind."""
+    def add_row(self, kind: str, terms, const: float) -> int:
+        """Append a row of ``kind`` and return its index within that kind.
+
+        ``terms`` is either a ``{col: coeff}`` dict (the fast path — backends
+        may bulk-ingest keys/values without a Python-level loop) or an
+        iterable of ``(col, coeff)`` pairs.
+        """
 
     @abc.abstractmethod
     def num_rows(self, kind: str) -> int:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -80,12 +80,19 @@ class _RowBuffer:
     def __len__(self) -> int:
         return len(self.rhs)
 
-    def append(self, terms: Iterable[tuple[int, float]], const: float) -> int:
+    def append(self, terms, const: float) -> int:
         cols = self.cols
         vals = self.vals
-        for idx, coeff in terms:
-            cols.append(idx)
-            vals.append(coeff)
+        if isinstance(terms, dict):
+            # Bulk ingestion: one C-level pass per row instead of a Python
+            # loop over entries.  ``keys()``/``values()`` iterate in the same
+            # (insertion) order, so the triplet layout is unchanged.
+            cols.extend(terms.keys())
+            vals.extend(terms.values())
+        else:
+            for idx, coeff in terms:
+                cols.append(idx)
+                vals.append(coeff)
         self.starts.append(len(cols))
         self.rhs.append(-const)
         return len(self.rhs) - 1
@@ -151,7 +158,9 @@ class IncrementalBackend(LPBackend):
 
     # -- row storage --------------------------------------------------------
 
-    def add_row(self, kind: str, terms: Iterable[tuple[int, float]], const: float) -> int:
+    def add_row(self, kind: str, terms, const: float) -> int:
+        # ``terms``: a {col: coeff} dict (bulk fast path) or (col, coeff)
+        # pairs — see the base-class contract.
         return self._buffers[kind].append(terms, const)
 
     def num_rows(self, kind: str) -> int:

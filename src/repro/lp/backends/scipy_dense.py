@@ -8,7 +8,7 @@ incremental backend.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy import sparse
@@ -32,8 +32,10 @@ class ScipyDenseBackend(LPBackend):
 
     # -- row storage --------------------------------------------------------
 
-    def add_row(self, kind: str, terms: Iterable[tuple[int, float]], const: float) -> int:
+    def add_row(self, kind: str, terms, const: float) -> int:
         rows = self._rows[kind]
+        # ``dict`` copies a {col: coeff} dict and consumes (col, coeff)
+        # pairs alike — both shapes of the base-class contract.
         rows.append((dict(terms), const))
         return len(rows) - 1
 

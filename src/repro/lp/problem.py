@@ -67,7 +67,7 @@ class LPProblem:
                     + (f" ({note})" if note else "")
                 )
             return
-        row = self.backend.add_row(EQ, form.terms.items(), form.const)
+        row = self.backend.add_row(EQ, form.terms, form.const)
         if note:
             self._eq_notes[row] = note
 
@@ -80,7 +80,7 @@ class LPProblem:
                     + (f" ({note})" if note else "")
                 )
             return
-        row = self.backend.add_row(GE, form.terms.items(), form.const)
+        row = self.backend.add_row(GE, form.terms, form.const)
         if note:
             self._ge_notes[row] = note
 

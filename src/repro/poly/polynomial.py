@@ -13,6 +13,12 @@ derivation system keep templates *linear* in the LP unknowns:
 
 Products of two templates are rejected by ``AffForm.__mul__`` — by design,
 since they would leave the LP fragment.
+
+Concrete polynomials additionally compile to an array form over the interned
+monomial basis (:meth:`Polynomial.compiled`, :mod:`repro.poly.kernel`), and
+substitution routes through memoized basis-change plans when the kernel is
+enabled; both are bit-exact replays of the dict-path arithmetic here, so the
+``REPRO_DISABLE_POLY_KERNEL`` escape hatch toggles speed, never results.
 """
 
 from __future__ import annotations
@@ -156,12 +162,31 @@ class Polynomial:
 
     # -- analysis-specific operations -------------------------------------------
 
+    def compiled(self):
+        """This polynomial as a :class:`repro.poly.kernel.CompiledPoly`.
+
+        Concrete polynomials only; the arrays index the process-wide
+        interned monomial basis.
+        """
+        from repro.poly.kernel import CompiledPoly
+
+        return CompiledPoly.from_polynomial(self)
+
     def substitute(self, var: str, replacement: "Polynomial") -> "Polynomial":
         """Capture-free substitution ``self[replacement / var]``.
 
         ``replacement`` must be concrete when ``self`` is a template, so that
-        the result stays affine in the LP unknowns.
+        the result stays affine in the LP unknowns.  With the symbolic
+        kernel enabled the expansion is routed through a memoized
+        :class:`repro.poly.kernel.SubstitutionPlan`, which replays the exact
+        float products of the loop below (bit-identical results) while
+        reusing the per-monomial expansions across calls.
         """
+        if replacement.is_concrete():
+            from repro.poly.kernel import kernel_enabled, substitution_plan
+
+            if kernel_enabled():
+                return substitution_plan(var, replacement).apply(self)
         result = Polynomial()
         powers: dict[int, Polynomial] = {0: Polynomial.constant(1.0)}
 

@@ -39,6 +39,20 @@ class TestCli:
         assert "E[C^1]" in text
         assert "2*d + 4" in text
 
+    def test_profile_flag_prints_stage_hotspots(self, source_file):
+        out = io.StringIO()
+        code = run(
+            ["analyze", source_file, "--at", "d=10,x=0,t=0", "--profile", "5"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        for stage in ("static", "context", "constraints", "solve"):
+            assert f"profile: {stage} stage" in text
+        assert "cumtime" in text  # cProfile table present
+        assert "stage split: derivation" in text
+        assert "E[C^1]" in text  # bounds still printed after the profile
+
     def test_soundness_flag(self, source_file):
         out = io.StringIO()
         run(["analyze", source_file, "--check", "--at", "d=10,x=0,t=0"], out=out)

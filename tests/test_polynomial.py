@@ -29,6 +29,15 @@ class TestMonomial:
         with pytest.raises(ValueError):
             Monomial.of("x", -1)
 
+    def test_from_dict_negative_exponent_rejected(self):
+        # Regression: validation used to run after the ``e > 0`` filter, so
+        # ``from_dict({'x': -1})`` silently returned the unit monomial.
+        with pytest.raises(ValueError):
+            Monomial.from_dict({"x": -1})
+        with pytest.raises(ValueError):
+            Monomial.from_dict({"x": 1, "y": -2})
+        assert Monomial.from_dict({"x": 1, "y": 0}) == Monomial.of("x")
+
     def test_multiplication(self):
         m = Monomial.of("x", 2) * Monomial.of("y") * Monomial.of("x")
         assert m == Monomial.from_dict({"x": 3, "y": 1})
