@@ -171,12 +171,19 @@ def test_lp_assembly_and_solve(benchmark):
 
 
 def test_incremental_appends_stage_cuts():
-    """Spot-check on a real program: 4 stages, 1 model build, 3 cut rows."""
+    """Spot-check on a real program: 4 stages, 1 model build, 3 cut rows.
+
+    The reduction layer is forced off — it routes solves to per-block
+    backend instances (covered by ``bench_solve.py``); this spot-check is
+    about the *direct* incremental path.
+    """
     from repro import AnalysisPipeline
+    from repro.lp.reduce import reduce_override
 
     pipe = AnalysisPipeline(coupon_chain(2))
     options = AnalysisOptions(moment_degree=4, backend="incremental")
-    pipe.analyze(options)
+    with reduce_override(False):
+        pipe.analyze(options)
     stats = pipe.constraint_system(options).lp.backend.stats
     assert stats.model_builds == 1
     assert stats.rows_appended == MOMENT_DEGREE - 1

@@ -1,0 +1,238 @@
+"""LP solve-layer benchmark: presolve + block decomposition + warm lex.
+
+Times ``solve_and_resolve`` — everything after constraint derivation:
+the lexicographic LP solve loop plus bound resolution — on the Fig. 10
+scalability programs at moment degree 4, the workload whose stage split
+motivated the LP reduction layer (after PR 4 vectorized derivation, ~80%
+of analysis wall time sat in the solve loop; see ``BENCH_constraints.json``
+``stage_split_rdwalk_chain_2``).  Three configurations:
+
+* ``reduced``  — the default path (``REPRO_DISABLE_LP_REDUCE`` unset):
+  presolve over the row buffers, connected-component block models,
+  per-block lexicographic pins;
+* ``direct``   — the kill-switch path: the raw system handed to the
+  warm-started incremental backend (the PR-4 solve path, unchanged);
+* ``seed``     — hardcoded PR-4 timings (commit ``609d83e``) from the
+  machine grid this file was introduced on; the acceptance metric is
+  ``seed_total / reduced_total >= 2`` on that machine, with a
+  ``direct_total / reduced_total >= 1.5`` floor as the hardware-portable
+  proxy (mirroring ``bench_constraint_derivation``).
+
+``rdwalk_chain(3)`` at moment degree 4 is recorded separately: its
+4th-moment template is degenerate (the stage objective rides a ray that
+only the ±1e12 variable box stops) and HiGHS cannot certify it on *any*
+path — the PR-4 baseline raises ``LPError`` on it, as does every solver
+configuration tried (plain/regularized/boxed rungs, dual/primal simplex,
+IPM, with and without the reduction).  The bench asserts both paths agree
+on that outcome and excludes it from the speedup ratio; its entry in the
+JSON documents the failure rather than hiding the program.
+
+Every measured round derives the constraint system in the (untimed) setup
+and times ``pipeline.analyze`` on the primed pipeline, so the number is the
+solve-and-resolve cost one ``analyze`` call pays after derivation.  Rounds
+run via :func:`_harness.timed_median`; the recorded time is the best of k
+(noise is additive; the median rides along in the JSON).  Results land in
+``BENCH_solve.json`` (CI gates ``solve_total_seconds`` against the
+committed baseline) together with the LP shape stats — rows/cols/nnz before
+and after reduction, eliminated-column counts by rule, component sizes —
+recorded from the reduction layer itself.
+"""
+
+import json
+import pathlib
+
+from _harness import emit, timed_median
+from repro import AnalysisOptions, AnalysisPipeline
+from repro.lp.reduce import reduce_override
+from repro.programs.synthetic import coupon_chain, rdwalk_chain
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_solve.json"
+
+#: ``solve_and_resolve`` seconds of the PR-4 analyzer (commit 609d83e,
+#: reduction layer absent) on this benchmark grid at moment degree 4,
+#: measured on the machine this file was introduced on.
+SEED_SECONDS = {
+    "coupon_chain(4)": 0.030,
+    "coupon_chain(8)": 0.140,
+    "coupon_chain(16)": 0.540,
+    "rdwalk_chain(2)": 0.290,
+}
+
+WORKLOAD = {
+    "coupon_chain(4)": lambda: coupon_chain(4),
+    "coupon_chain(8)": lambda: coupon_chain(8),
+    "coupon_chain(16)": lambda: coupon_chain(16),
+    "rdwalk_chain(2)": lambda: rdwalk_chain(2),
+}
+
+#: Degenerate-template instance: recorded, never part of the ratio.
+DEGENERATE = {"rdwalk_chain(3)": lambda: rdwalk_chain(3)}
+
+MOMENT_DEGREE = 4
+ROUNDS = 5
+WARMUP = 1
+
+
+def _solve_seconds(make, reduced: bool):
+    """Best-of-k solve+resolve time with the reduction layer forced on/off.
+
+    Derivation (stages 1-3) is primed in the untimed per-round setup; a
+    fresh pipeline per round keeps the solution caches cold, so each round
+    measures one full lexicographic solve plus resolution.  The recorded
+    number is the *minimum* of the measured rounds: scheduler noise is
+    strictly additive, so the minimum is the tightest estimate of the true
+    cost (the median rides the noise and is recorded alongside).
+    """
+    state: dict = {}
+    options = AnalysisOptions(moment_degree=MOMENT_DEGREE)
+
+    def setup():
+        pipe = AnalysisPipeline(make())
+        pipe.constraint_system(options)
+        state["pipe"] = pipe
+
+    def run():
+        with reduce_override(reduced):
+            state["pipe"].analyze(options)
+
+    median, times = timed_median(run, rounds=ROUNDS, warmup=WARMUP, setup=setup)
+    # Shape stats from the last measured round's reducer (reduced runs only).
+    shape = state["pipe"].constraint_system(options).lp.reduction_stats(
+        include_times=False
+    )
+    return min(times), median, shape
+
+
+def _degenerate_outcome(make) -> str:
+    options = AnalysisOptions(moment_degree=MOMENT_DEGREE)
+    pipe = AnalysisPipeline(make())
+    pipe.constraint_system(options)
+    try:
+        pipe.analyze(options)
+        return "solved"
+    except Exception as exc:
+        return type(exc).__name__
+
+
+def test_solve_layer(benchmark):
+    benchmark.pedantic(
+        lambda: _solve_seconds(WORKLOAD["coupon_chain(4)"], True),
+        rounds=1, iterations=1,
+    )
+    reduced: dict[str, float] = {}
+    direct: dict[str, float] = {}
+    reduced_median: dict[str, float] = {}
+    direct_median: dict[str, float] = {}
+    shapes: dict[str, dict] = {}
+    for name, make in WORKLOAD.items():
+        reduced[name], reduced_median[name], shapes[name] = _solve_seconds(make, True)
+        direct[name], direct_median[name], _ = _solve_seconds(make, False)
+
+    degenerate = {}
+    for name, make in DEGENERATE.items():
+        with reduce_override(False):
+            off_outcome = _degenerate_outcome(make)
+        with reduce_override(True):
+            on_outcome = _degenerate_outcome(make)
+        degenerate[name] = {"direct": off_outcome, "reduced": on_outcome}
+
+    reduced_total = sum(reduced.values())
+    direct_total = sum(direct.values())
+    seed_total = sum(SEED_SECONDS.values())
+    speedup_vs_seed = seed_total / reduced_total
+    speedup_vs_direct = direct_total / reduced_total
+
+    lines = [
+        f"LP solve-layer benchmark ({MOMENT_DEGREE}th-moment fig10 workload, "
+        "solve_and_resolve only)",
+        f"{'case':>18} {'seed (s)':>9} {'direct (s)':>11} {'reduced (s)':>12} "
+        f"{'cols':>12} {'rows':>12} {'blocks':>7}",
+    ]
+    for name in WORKLOAD:
+        shape = shapes[name]
+        lines.append(
+            f"{name:>18} {SEED_SECONDS[name]:>9.3f} {direct[name]:>11.3f} "
+            f"{reduced[name]:>12.3f} "
+            f"{shape['cols']:>5}->{shape['reduced_cols']:<5} "
+            f"{shape['rows']:>5}->{shape['reduced_rows']:<5} "
+            f"{shape['components']:>7}"
+        )
+    lines.append(
+        f"{'total':>18} {seed_total:>9.3f} {direct_total:>11.3f} "
+        f"{reduced_total:>12.3f}"
+    )
+    lines.append(
+        f"speedup: {speedup_vs_seed:.2f}x vs seed, "
+        f"{speedup_vs_direct:.2f}x vs reduction-off"
+    )
+    for name, outcome in degenerate.items():
+        lines.append(
+            f"{name}: degenerate 4th-moment template — direct: "
+            f"{outcome['direct']}, reduced: {outcome['reduced']} "
+            "(excluded from the ratio; see module docstring)"
+        )
+    emit("solve_layer", lines)
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "workload": f"fig10 programs at moment degree {MOMENT_DEGREE}, "
+                "solve_and_resolve only (derivation primed per round)",
+                "seed_commit": "609d83e",
+                "rounds": ROUNDS,
+                "warmup": WARMUP,
+                "timing": "min of rounds (median alongside), fresh "
+                "pipeline per round",
+                "seed_seconds": SEED_SECONDS,
+                "direct_seconds": {k: round(v, 4) for k, v in direct.items()},
+                "reduced_seconds": {k: round(v, 4) for k, v in reduced.items()},
+                "direct_median_seconds": {
+                    k: round(v, 4) for k, v in direct_median.items()
+                },
+                "reduced_median_seconds": {
+                    k: round(v, 4) for k, v in reduced_median.items()
+                },
+                "lp_shapes": shapes,
+                "seed_total_seconds": round(seed_total, 4),
+                "direct_total_seconds": round(direct_total, 4),
+                "solve_total_seconds": round(reduced_total, 4),
+                "speedup_vs_seed": round(speedup_vs_seed, 3),
+                "speedup_vs_direct": round(speedup_vs_direct, 3),
+                "degenerate_instances": degenerate,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Both paths must agree on the degenerate instance's outcome (the
+    # reduction layer may not turn a solver failure into silent garbage, nor
+    # break a program the direct path solves).
+    for name, outcome in degenerate.items():
+        assert (outcome["direct"] == "solved") == (outcome["reduced"] == "solved"), (
+            name, outcome,
+        )
+
+    # Acceptance: >= 2x solve_and_resolve speedup vs the PR-4 analyzer on
+    # this workload.  The recorded seed timings are from the machine this
+    # file was introduced on; on other hardware the kill-switch path —
+    # identical to PR-4's solve loop — is the proxy, with a floor the
+    # reduction must beat.
+    assert speedup_vs_seed >= 2.0 or speedup_vs_direct >= 1.5, (
+        f"solve-layer speedup below the floor: {speedup_vs_seed:.2f}x vs seed "
+        f"(seed {seed_total:.3f}s), {speedup_vs_direct:.2f}x vs reduction-off "
+        f"(direct {direct_total:.3f}s, reduced {reduced_total:.3f}s)"
+    )
+
+
+def test_reduction_shrinks_the_solved_core():
+    """Shape sanity independent of wall time: presolve must eliminate a
+    substantial share of columns and rows on the certificate systems."""
+    options = AnalysisOptions(moment_degree=MOMENT_DEGREE)
+    pipe = AnalysisPipeline(rdwalk_chain(2))
+    with reduce_override(True):
+        pipe.analyze(options)
+    stats = pipe.constraint_system(options).lp.reduction_stats()
+    assert stats["reduced_cols"] <= 0.5 * stats["cols"]
+    assert stats["reduced_rows"] <= 0.5 * stats["rows"]
+    assert stats["components"] >= 2

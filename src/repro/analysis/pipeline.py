@@ -77,7 +77,11 @@ class AnalysisOptions:
     which imprecision is minimized; when omitted, a feasible point of main's
     pre-condition is computed automatically.  ``backend`` picks the LP
     backend by registry name (``None`` = the default incremental backend;
-    see :mod:`repro.lp.backends`).
+    see :mod:`repro.lp.backends`).  ``lp_reduce`` selects the
+    structure-exploiting LP reduction layer (:mod:`repro.lp.reduce`):
+    ``None`` follows the process-wide switch (on unless
+    ``REPRO_DISABLE_LP_REDUCE`` is set), ``False``/``True`` force it off/on
+    for this analysis.
     """
 
     moment_degree: int = 2
@@ -90,6 +94,7 @@ class AnalysisOptions:
     lp_bound: float = 1e12
     degree_cap: int | None = None
     backend: str | None = None
+    lp_reduce: bool | None = None
 
     def __post_init__(self) -> None:
         if self.moment_degree < 1:
@@ -110,7 +115,23 @@ class AnalysisOptions:
 
     def solve_key(self, valuations: list[dict[str, float]]) -> tuple:
         frozen = tuple(tuple(sorted(v.items())) for v in valuations)
-        return self.derivation_key() + (frozen, self.lexicographic, self.lp_bound)
+        return self.derivation_key() + (
+            frozen,
+            self.lexicographic,
+            self.lp_bound,
+            self.effective_lp_reduce(),
+        )
+
+    def effective_lp_reduce(self) -> bool:
+        """Whether this analysis solves through the LP reduction layer.
+
+        Resolved against the process-wide switch at call time, so cache
+        keys — which must distinguish reduced from unreduced solves — stay
+        truthful even when the ``None`` default is in effect.
+        """
+        from repro.lp.reduce import reduce_enabled
+
+        return reduce_enabled() if self.lp_reduce is None else self.lp_reduce
 
     def result_key(self, valuations: list[dict[str, float]]) -> tuple:
         """The options a final :class:`MomentBoundResult` depends on."""
@@ -161,7 +182,15 @@ class StageSolution:
     ``"optimal:boxed"``, or ``"constant"`` for stages with nothing to
     optimize); ``scales[k]`` is the normalization factor applied to the
     stage objective — the natural unit for comparing stage optima across
-    backends.
+    backends.  ``tolerances[k]`` is the cut margin added when pinning stage
+    ``k``'s optimum for the next stage, in the stage objective's own units
+    (0.0 for the final stage, which pins nothing): the recorded
+    ``objective_values`` are the un-padded stage optima, and the margin
+    documents how far later stages were allowed to drift off them.
+    ``reduction`` carries the LP reduction layer's presolve/decomposition
+    stats (including per-component solve times) when the solve went through
+    it, so staged artifacts retain the mapping the full-space solution
+    values were reconstructed under.
     """
 
     key: tuple
@@ -171,6 +200,8 @@ class StageSolution:
     solve_seconds: float
     statuses: list[str] = field(default_factory=list)
     scales: list[float] = field(default_factory=list)
+    tolerances: list[float] = field(default_factory=list)
+    reduction: dict | None = None
 
 
 class AnalysisPipeline:
@@ -360,9 +391,12 @@ class AnalysisPipeline:
         with system.solve_lock:
             checkpoint = system.lp.checkpoint()
             try:
-                solution, objective_values, statuses, scales = _lexicographic_solve(
-                    system.lp, system.main_pre, valuations, options
+                solution, objective_values, statuses, scales, tolerances = (
+                    _lexicographic_solve(
+                        system.lp, system.main_pre, valuations, options
+                    )
                 )
+                reduction = system.lp.reduction_stats()
             finally:
                 # Drop the stage cuts so the cached system stays re-solvable
                 # under a different objective.
@@ -375,6 +409,8 @@ class AnalysisPipeline:
             solve_seconds=time.perf_counter() - start,
             statuses=statuses,
             scales=scales,
+            tolerances=tolerances,
+            reduction=reduction,
         )
 
     # -- stage 5: resolution --------------------------------------------------
@@ -419,6 +455,8 @@ class AnalysisPipeline:
             objective_values=list(staged.objective_values),
             solver_statuses=list(staged.statuses),
             objective_scales=list(staged.scales),
+            stage_tolerances=list(staged.tolerances),
+            lp_reduction=staged.reduction,
             warnings=list(self.context_map().warnings),
             lp_variables=system.num_variables,
             lp_constraints=system.num_constraints,
@@ -561,9 +599,19 @@ def _lexicographic_solve(
 
     Between stages only a *cut row* pinning the previous stage's optimum is
     appended — with the incremental backend this re-optimizes the persistent
-    warm-started model instead of rebuilding it.
+    warm-started model instead of rebuilding it, and with the reduction
+    layer the cut lands on the live per-block models in reduced coordinates.
+
+    The recorded ``objective_values`` are the un-padded stage optima; the
+    cut adds a ``1e-5 * (1 + |optimum|)``-scale margin (kept well above the
+    solver's feasibility tolerance so the next stage's problem stays
+    numerically feasible), which necessarily leaks into later-stage feasible
+    regions.  The applied margin is therefore returned per stage — in the
+    stage objective's own units — so results document how tight each pin
+    actually was.
     """
     m = main_pre.degree
+    reduce = options.effective_lp_reduce()
     stage_objectives: list[AffForm] = []
     for k in range(1, m + 1):
         obj = AffForm.constant(0.0)
@@ -574,43 +622,54 @@ def _lexicographic_solve(
                 lo = main_pre.intervals[k].lo.evaluate(valuation)
                 obj = obj - _as_aff(lo)
         stage_objectives.append(obj)
+    # Reduction hint: every column the stage objectives (and hence the cut
+    # rows) can touch must survive presolve into the solved core.
+    lp.protect_columns(
+        idx for obj in stage_objectives for idx in obj.terms
+    )
 
     if not options.lexicographic:
         total = AffForm.constant(0.0)
         for obj in stage_objectives:
             total = total + obj
-        solution = lp.solve(total, bound=options.lp_bound)
-        return solution, [solution.objective], [solution.status], [1.0]
+        solution = lp.solve(total, bound=options.lp_bound, reduce=reduce)
+        return solution, [solution.objective], [solution.status], [1.0], [0.0]
 
     solution = None
     objective_values: list[float] = []
     statuses: list[str] = []
     scales: list[float] = []
+    tolerances: list[float] = []
     for stage, obj in enumerate(stage_objectives):
         if obj.is_constant():
             objective_values.append(obj.const)
             statuses.append("constant")
             scales.append(1.0)
+            tolerances.append(0.0)
             continue
         # Normalize the stage objective: higher moments reach 1e8-scale
         # coefficients, and HiGHS is sensitive to objective scaling.
         scale = max(abs(c) for c in obj.terms.values())
         scaled = obj * (1.0 / scale)
-        solution = lp.solve(scaled, bound=options.lp_bound)
+        solution = lp.solve(scaled, bound=options.lp_bound, reduce=reduce)
         objective_values.append(solution.objective * scale)
         statuses.append(solution.status)
         scales.append(scale)
         if stage < len(stage_objectives) - 1:
             # Keep a margin well above HiGHS' feasibility tolerance so the
-            # next stage's problem stays numerically feasible.
+            # next stage's problem stays numerically feasible.  With the
+            # reduction layer the pin lands as tighter per-block cuts on the
+            # live block models; the applied margin is what gets recorded.
             tolerance = 1e-5 * (1.0 + abs(solution.objective))
-            lp.add_le(
-                scaled - (solution.objective + tolerance),
-                note=f"lex.cut{stage + 1}",
+            applied = lp.pin_objective(
+                scaled, solution.objective, tolerance, note=f"lex.cut{stage + 1}"
             )
+            tolerances.append(applied * scale)
+        else:
+            tolerances.append(0.0)
     if solution is None:
-        solution = lp.solve(None, bound=options.lp_bound)
-    return solution, objective_values, statuses, scales
+        solution = lp.solve(None, bound=options.lp_bound, reduce=reduce)
+    return solution, objective_values, statuses, scales, tolerances
 
 
 def _as_aff(value) -> AffForm:

@@ -68,6 +68,14 @@ class MomentBoundResult:
     #: see :class:`repro.analysis.pipeline.StageSolution`.
     solver_statuses: list[str] = field(default_factory=list)
     objective_scales: list[float] = field(default_factory=list)
+    #: Per-stage lexicographic cut margins, in the stage objective's units:
+    #: ``objective_values[k]`` is the un-padded stage optimum, and stages
+    #: after ``k`` were held within ``tolerances[k]`` of it (0.0 for the
+    #: final stage, which pins nothing).
+    stage_tolerances: list[float] = field(default_factory=list)
+    #: LP reduction layer stats (columns eliminated, rows deduped, component
+    #: sizes, ...) when the solve went through :mod:`repro.lp.reduce`.
+    lp_reduction: dict | None = None
     warnings: list[str] = field(default_factory=list)
     lp_variables: int = 0
     lp_constraints: int = 0
@@ -156,6 +164,8 @@ class MomentBoundResult:
             "objective_values": self.objective_values,
             "solver_statuses": self.solver_statuses,
             "objective_scales": self.objective_scales,
+            "stage_tolerances": self.stage_tolerances,
+            "lp_reduction": self.lp_reduction,
             "warnings": self.warnings,
             "lp_variables": self.lp_variables,
             "lp_constraints": self.lp_constraints,
@@ -168,6 +178,17 @@ class MomentBoundResult:
             f"{self.lp_variables} LP vars, {self.lp_constraints} constraints, "
             f"{self.solve_seconds:.3f}s)"
         ]
+        if self.lp_reduction:
+            red = self.lp_reduction
+            lines.append(
+                f"  lp reduce: {red['cols']}->{red['reduced_cols']} cols, "
+                f"{red['rows']}->{red['reduced_rows']} rows, "
+                f"{red['components']} block"
+                + ("s" if red["components"] != 1 else "")
+            )
+        if any(self.stage_tolerances):
+            margins = ", ".join(f"{t:.3g}" for t in self.stage_tolerances)
+            lines.append(f"  lex cut margins: [{margins}]")
         for k in range(1, self.raw.degree + 1):
             lines.append(f"  E[C^{k}] in [{self.lower_str(k)}, {self.upper_str(k)}]")
         if self.valuations:

@@ -21,9 +21,13 @@ and violations exit non-zero with a minimized reproducer under ``--out``.
 is spent); the default one-shot mode is the tier-1 corpus.
 
 ``repro analyze --profile [N]`` runs each pipeline stage under ``cProfile``
-and prints the top-N cumulative hotspots per stage plus the
-derivation-vs-solve wall-time split — the starting point for performance
-work.
+and prints the top-N cumulative hotspots per stage, the LP reduction
+layer's presolve statistics (columns eliminated by rule, rows
+deduped/vacuous, component count and sizes, per-component solve times), and
+the derivation-vs-solve wall-time split — the starting point for
+performance work.  ``--no-lp-reduce`` (``analyze``, ``batch``, ``fuzz``)
+bypasses the reduction layer for this run, mirroring the process-wide
+``REPRO_DISABLE_LP_REDUCE`` switch.
 
 ``--cache-dir`` (``analyze``, ``batch``, ``serve``) attaches the
 content-addressed artifact cache at the given directory, so repeated
@@ -65,6 +69,11 @@ def _add_backend_flag(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--backend", choices=available_backends(), default=None,
         help="LP backend (default: incremental warm-started HiGHS)",
+    )
+    cmd.add_argument(
+        "--no-lp-reduce", action="store_true",
+        help="solve the raw LP directly, bypassing the presolve/"
+        "decomposition reduction layer (repro.lp.reduce)",
     )
 
 
@@ -241,6 +250,7 @@ def _run_analyze(args, out) -> int:
         degree_cap=args.degree_cap,
         objective_valuations=valuations,
         backend=args.backend,
+        lp_reduce=False if args.no_lp_reduce else None,
     )
     pipeline = AnalysisPipeline(program, artifacts=_make_cache(args))
     if args.profile is not None:
@@ -291,7 +301,7 @@ def _profiled_analyze(pipeline, options, top: int, out):
         profiler = cProfile.Profile()
         start = time.perf_counter()
         profiler.enable()
-        stage()
+        staged = stage()
         profiler.disable()
         walls[name] = time.perf_counter() - start
         text = io.StringIO()
@@ -302,6 +312,12 @@ def _profiled_analyze(pipeline, options, top: int, out):
         header = body.index("ncalls") if "ncalls" in body else 0
         print(f"--- profile: {name} stage ({walls[name]:.3f}s wall) ---", file=out)
         print(body[header:].rstrip() or "(nothing measurable)", file=out)
+        if name == "solve":
+            _print_reduction_stats(
+                getattr(staged, "reduction", None),
+                options.effective_lp_reduce(),
+                out,
+            )
     total = sum(walls.values())
     derivation = walls["static"] + walls["context"] + walls["constraints"]
     print(
@@ -312,6 +328,50 @@ def _profiled_analyze(pipeline, options, top: int, out):
         file=out,
     )
     return pipeline.analyze(options)
+
+
+def _print_reduction_stats(stats, enabled: bool, out) -> None:
+    """Presolve statistics of the LP reduction layer (``--profile``)."""
+    if not stats:
+        if enabled:
+            print(
+                "--- lp reduction: unavailable (the reducer fell back to the "
+                "direct backend for this system) ---",
+                file=out,
+            )
+        else:
+            print(
+                "--- lp reduction: off (REPRO_DISABLE_LP_REDUCE or "
+                "--no-lp-reduce) ---",
+                file=out,
+            )
+        return
+    print(
+        f"--- lp reduction: {stats['cols']}->{stats['reduced_cols']} cols, "
+        f"{stats['rows']}->{stats['reduced_rows']} rows, "
+        f"{stats['nnz']}->{stats['reduced_nnz']} nnz "
+        f"({stats['presolve_seconds']:.3f}s presolve) ---",
+        file=out,
+    )
+    print(
+        f"columns eliminated: {stats['eliminated_cols']} "
+        f"(fixed {stats['fixed_cols']}, implied-slack {stats['slack_cols']}, "
+        f"free {stats['free_cols']}, zero {stats['zero_cols']}); "
+        f"rows deduped: {stats['dup_rows']}, vacuous: {stats['vacuous_rows']}",
+        file=out,
+    )
+    sizes = ", ".join(str(s) for s in stats["component_sizes"][:8])
+    more = len(stats["component_sizes"]) - 8
+    print(
+        f"components: {stats['components']} (sizes {sizes}"
+        + (f", +{more} more" if more > 0 else "")
+        + ")",
+        file=out,
+    )
+    times = stats.get("block_solve_seconds") or []
+    if times:
+        shown = ", ".join(f"block {bid}: {sec:.3f}s" for bid, sec in times[:8])
+        print(f"last solve per-component times: {shown}", file=out)
 
 
 def _run_batch(args, out) -> int:
@@ -327,6 +387,7 @@ def _run_batch(args, out) -> int:
             degree_cap=bench.degree_cap,
             objective_valuations=(bench.valuation,) + tuple(bench.extra_valuations),
             backend=args.backend,
+            lp_reduce=False if args.no_lp_reduce else None,
         )
         workload[name] = (registry.parsed(name), options)
     if not workload:
@@ -402,6 +463,7 @@ def _run_fuzz(args, out) -> int:
             backend=args.backend,
             cache=cache,
             out_dir=args.out,
+            lp_reduce=False if args.no_lp_reduce else None,
         )
         combined.outcomes.extend(report.outcomes)
         combined.elapsed = time.perf_counter() - started

@@ -210,6 +210,11 @@ def emit_nonneg_certificate(
         lam_base = lp.fresh_nonneg(f"{label}.λ0").index
         for j in range(1, basis.n_products):
             lp.fresh_nonneg(f"{label}.λ{j}")
+        # Emission hint for the LP reduction layer: this certificate's
+        # multipliers occupy one contiguous column span, so presolve can
+        # build its λ/nonnegativity masks from span arithmetic instead of
+        # scanning the index set.
+        lp.note_cert_span(lam_base, basis.n_products)
         for mono, rows, negs in basis.columns:
             builder = target.get(mono)
             if builder is None:
@@ -220,10 +225,15 @@ def emit_nonneg_certificate(
             builder.terms.update(zip((rows + lam_base).tolist(), negs))
     else:
         products = certificate_products(ctx, cert_degree)
+        lam_base = None
         for j, prod in enumerate(products):
             lam = lp.fresh_nonneg(f"{label}.λ{j}")
+            if lam_base is None:
+                lam_base = lam.index
             for mono, c in prod.coeffs.items():
                 target.setdefault(mono, AffBuilder()).add_var(lam, -float(c))
+        if lam_base is not None:
+            lp.note_cert_span(lam_base, len(products))
 
     for mono, builder in target.items():
         lp.add_eq(builder, note=f"{label}[{mono!r}]")

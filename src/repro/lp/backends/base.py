@@ -102,6 +102,19 @@ class LPBackend(abc.ABC):
         ...
 
     @abc.abstractmethod
+    def row_arrays(self, kind: str, lo: int = 0, hi: "int | None" = None):
+        """Rows ``lo..hi`` of ``kind`` as CSR numpy arrays.
+
+        Returns ``(starts, cols, vals, rhs)`` where ``starts`` has
+        ``hi - lo + 1`` entries (zero-based, final terminator included) and
+        ``rhs`` follows the row semantics ``terms·x == rhs`` (eq) /
+        ``terms·x >= rhs`` (ge).  This is the export surface of the LP
+        reduction layer (:mod:`repro.lp.reduce`): presolve and block
+        decomposition read row storage through it without caring which
+        backend owns the rows.
+        """
+
+    @abc.abstractmethod
     def checkpoint(self) -> Checkpoint:
         ...
 

@@ -166,6 +166,20 @@ class IncrementalBackend(LPBackend):
     def num_rows(self, kind: str) -> int:
         return len(self._buffers[kind])
 
+    def row_arrays(self, kind: str, lo: int = 0, hi: "int | None" = None):
+        buf = self._buffers[kind]
+        if hi is None:
+            hi = len(buf)
+        starts, cols, vals, rhs = buf.slice_arrays(lo, hi)
+        # slice_arrays serves HiGHS addRows, which wants no final
+        # terminator; the CSR export contract includes it.
+        return (
+            np.append(starts, len(cols)).astype(np.int64),
+            cols.astype(np.int64),
+            vals,
+            rhs,
+        )
+
     def checkpoint(self) -> Checkpoint:
         return Checkpoint(eq=len(self._buffers[EQ]), ge=len(self._buffers[GE]))
 

@@ -42,6 +42,26 @@ class ScipyDenseBackend(LPBackend):
     def num_rows(self, kind: str) -> int:
         return len(self._rows[kind])
 
+    def row_arrays(self, kind: str, lo: int = 0, hi: "int | None" = None):
+        rows = self._rows[kind]
+        if hi is None:
+            hi = len(rows)
+        window = rows[lo:hi]
+        starts = np.zeros(len(window) + 1, dtype=np.int64)
+        np.cumsum([len(terms) for terms, _ in window], out=starts[1:])
+        cols = np.fromiter(
+            (c for terms, _ in window for c in terms),
+            dtype=np.int64,
+            count=int(starts[-1]),
+        )
+        vals = np.fromiter(
+            (v for terms, _ in window for v in terms.values()),
+            dtype=np.float64,
+            count=int(starts[-1]),
+        )
+        rhs = np.asarray([-const for _, const in window], dtype=np.float64)
+        return starts, cols, vals, rhs
+
     def checkpoint(self) -> Checkpoint:
         return Checkpoint(eq=len(self._rows[EQ]), ge=len(self._rows[GE]))
 

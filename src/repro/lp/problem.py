@@ -12,6 +12,15 @@ annotations used for infeasibility diagnostics.  Row storage and solving are
 delegated to a pluggable backend (:mod:`repro.lp.backends`) — by default the
 incremental warm-started HiGHS backend; ``backend="dense"`` selects the
 legacy rebuild-per-solve scipy path.
+
+Solves normally route through the structure-exploiting reduction layer
+(:mod:`repro.lp.reduce`): a vectorized presolve over the backend's row
+buffers plus a connected-component block decomposition, with lexicographic
+cut rows appended to the live block models in reduced coordinates.  The
+layer is an overlay over the backend's row storage — checkpoints and
+rollbacks keep their semantics — and is disabled per solve
+(``solve(reduce=False)``), per options (``AnalysisOptions.lp_reduce``), or
+process-wide (``REPRO_DISABLE_LP_REDUCE``).
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from repro.lp.affine import AffBuilder, AffForm, LinVar, VarPool
 from repro.lp.backends import Checkpoint, LPBackend, get_backend
 from repro.lp.backends.base import EQ, GE
 from repro.lp.core import LPError, LPInfeasibleError, LPSolution
+from repro.lp.reduce import ReducedSolver, reduce_enabled
 
 __all__ = [
     "LPError",
@@ -41,6 +51,23 @@ class LPProblem:
     _nonneg: set[int] = field(default_factory=set)
     _eq_notes: dict[int, str] = field(default_factory=dict)
     _ge_notes: dict[int, str] = field(default_factory=dict)
+    #: Contiguous λ-column spans recorded by certificate emission
+    #: (:func:`repro.logic.handelman.emit_nonneg_certificate`); the reduction
+    #: layer builds its nonnegativity mask from these without scanning the
+    #: Python-level index set.
+    _cert_spans: list[tuple[int, int]] = field(default_factory=list)
+    #: Columns the reduction layer must keep in its solved core (objective
+    #: and cut-row columns); see :meth:`protect_columns`.
+    _protected: set[int] = field(default_factory=set)
+    _reducer: "ReducedSolver | None" = field(default=None, repr=False)
+
+    def __getstate__(self):
+        """Artifact-cache hook: the reducer holds live solver models (and a
+        back-reference to this problem); it is rebuilt lazily on the first
+        reduced solve after deserialization."""
+        state = self.__dict__.copy()
+        state["_reducer"] = None
+        return state
 
     # -- variables -------------------------------------------------------------
 
@@ -55,6 +82,34 @@ class LPProblem:
     @property
     def nonneg_indices(self) -> set[int]:
         return self._nonneg
+
+    def note_cert_span(self, start: int, count: int) -> None:
+        """Record a contiguous run of certificate multiplier columns.
+
+        An emission hint: ``count`` λ-variables were just allocated at
+        indices ``start..start+count-1``.  Presolve uses the spans to build
+        its column masks vectorized instead of scanning the nonneg set.
+        """
+        if count > 0:
+            self._cert_spans.append((start, count))
+
+    @property
+    def cert_spans(self) -> list[tuple[int, int]]:
+        return self._cert_spans
+
+    def protect_columns(self, indices) -> None:
+        """Declare columns that upcoming objectives or cut rows will touch.
+
+        The reduction layer may only eliminate unprotected columns from its
+        solved core.  The declaration is a performance hint, not a safety
+        requirement: touching an undeclared eliminated column triggers an
+        automatic presolve recompute with that column protected.
+        """
+        self._protected.update(indices)
+
+    @property
+    def protected_columns(self) -> set[int]:
+        return self._protected
 
     # -- constraints -------------------------------------------------------------
 
@@ -114,6 +169,8 @@ class LPProblem:
         Variables are never rolled back — cuts add only rows.
         """
         self.backend.rollback(checkpoint)
+        if self._reducer is not None:
+            self._reducer.on_rollback(checkpoint)
         for notes, keep in (
             (self._eq_notes, checkpoint.eq),
             (self._ge_notes, checkpoint.ge),
@@ -158,6 +215,7 @@ class LPProblem:
         minimize: bool = True,
         bound: float = 1e12,
         regularization: float = 1e-7,
+        reduce: bool | None = None,
     ) -> LPSolution:
         """Solve the accumulated system, optimizing ``objective``.
 
@@ -170,12 +228,62 @@ class LPProblem:
         non-unique, and the resulting degenerate optimal faces are what
         occasionally drives HiGHS to give up; preferring small certificates
         breaks the ties at negligible cost to the optimum.
+
+        ``reduce`` selects the structure-exploiting reduction layer
+        (:mod:`repro.lp.reduce`): ``None`` follows the process-wide switch
+        (on unless ``REPRO_DISABLE_LP_REDUCE`` is set), ``False`` forces the
+        direct backend solve, ``True`` forces reduction.  Either path
+        returns full-variable-space values.
         """
         terms = None
         const = 0.0
         if objective is not None:
             terms = objective.terms
             const = objective.const
+        use_reduce = reduce_enabled() if reduce is None else reduce
+        if use_reduce:
+            if self._reducer is None:
+                self._reducer = ReducedSolver(self)
+            return self._reducer.solve(terms, const, minimize, bound, regularization)
+        if self._reducer is not None:
+            # A direct solve supersedes whatever the reducer last produced;
+            # per-block pinning against its stale state would be invalid.
+            self._reducer.last_was_reduced = False
         return self.backend.solve(
             self, terms, const, minimize, bound, regularization
         )
+
+    def pin_objective(
+        self,
+        objective: AffForm,
+        optimum: float,
+        tolerance: float,
+        note: str = "",
+    ) -> float:
+        """Pin the just-solved ``objective`` at ``optimum`` for later stages.
+
+        The lexicographic driver calls this between stages.  A cut row
+        ``objective <= optimum + tolerance`` is recorded in the row storage
+        (so rollbacks, diagnostics, and unreduced re-solves see it); when
+        the previous solve went through the reduction layer, the live block
+        models are instead constrained by *per-block* pins — each block's
+        objective slice held at its own optimum, with the ``tolerance``
+        budget split across the blocks so the pinned region is a subset of
+        the cut row's — and the stored row is marked as already
+        materialized.  Returns the margin actually applied.
+        """
+        self.add_le(objective - (optimum + tolerance), note=note)
+        reducer = self._reducer
+        if reducer is not None and reducer.last_was_reduced:
+            applied = reducer.pin_last_objective(tolerance)
+            if applied is not None:
+                reducer.absorb_external_row(GE)
+                return applied
+        return tolerance
+
+    def reduction_stats(self, include_times: bool = True) -> dict | None:
+        """Presolve/decomposition stats of the last solve, if it actually
+        went through the reduction layer (None after direct solves)."""
+        if self._reducer is None or not self._reducer.last_was_reduced:
+            return None
+        return self._reducer.stats_dict(include_times=include_times)

@@ -40,7 +40,10 @@ from repro.lang.ast import Program
 from repro.lang.printer import canonical_program
 
 #: Bump to invalidate every existing disk entry (artifact layout changes).
-CACHE_FORMAT = 1
+#: 2: the LP reduction layer — LPProblem carries certificate spans and
+#: protected columns, StageSolution carries cut margins and reduction
+#: stats, and solve keys include the reduction option.
+CACHE_FORMAT = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 

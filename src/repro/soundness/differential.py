@@ -258,6 +258,7 @@ def check_case(
     case: FuzzCase,
     config: DifferentialConfig | None = None,
     backend: str | None = None,
+    lp_reduce: "bool | None" = None,
 ) -> CaseOutcome:
     """Run the full differential check on a single case, in-process."""
     config = config or DifferentialConfig()
@@ -267,7 +268,7 @@ def check_case(
     started = time.perf_counter()
     try:
         result = AnalysisPipeline(program).analyze(
-            _case_options(case, backend)
+            _case_options(case, backend, lp_reduce)
         )
     except Exception as exc:
         return CaseOutcome(
@@ -280,11 +281,16 @@ def check_case(
     return _classify(case, program, result, analyze_seconds, config)
 
 
-def _case_options(case: FuzzCase, backend: str | None = None) -> AnalysisOptions:
+def _case_options(
+    case: FuzzCase,
+    backend: str | None = None,
+    lp_reduce: "bool | None" = None,
+) -> AnalysisOptions:
     return AnalysisOptions(
         moment_degree=case.moment_degree,
         objective_valuations=(case.valuation,),
         backend=backend,
+        lp_reduce=lp_reduce,
     )
 
 
@@ -444,6 +450,7 @@ def minimize_case(
     case: FuzzCase,
     config: DifferentialConfig,
     backend: str | None = None,
+    lp_reduce: "bool | None" = None,
 ) -> tuple[FuzzCase, int]:
     """Greedily shrink a violating case while the violation reproduces.
 
@@ -467,7 +474,7 @@ def minimize_case(
             )
             try:
                 outcome = check_case(
-                    candidate, replace(config, minimize=False), backend
+                    candidate, replace(config, minimize=False), backend, lp_reduce
                 )
             except Exception:
                 continue
@@ -535,6 +542,7 @@ def run_differential(
     backend: str | None = None,
     cache: ArtifactCache | None = None,
     out_dir: str | None = None,
+    lp_reduce: "bool | None" = None,
 ) -> DifferentialReport:
     """Differential-check a corpus; see the module docstring.
 
@@ -546,7 +554,7 @@ def run_differential(
     config = config or DifferentialConfig()
     started = time.perf_counter()
     workload = {
-        case.name: (case.parse(), _case_options(case, backend))
+        case.name: (case.parse(), _case_options(case, backend, lp_reduce))
         for case in cases
     }
     batch = run_batch(workload, jobs=jobs, executor=executor, cache=cache)
@@ -570,7 +578,7 @@ def run_differential(
         )
         if outcome.status == VIOLATION:
             if config.minimize:
-                minimized, _ = minimize_case(case, config, backend)
+                minimized, _ = minimize_case(case, config, backend, lp_reduce)
                 outcome.minimized = minimized.source
             if out_dir is not None:
                 _dump_violation(outcome, out_dir, config)

@@ -21,6 +21,7 @@ from repro.lp.backends import (
     highs_available,
 )
 from repro.lp.problem import LPInfeasibleError, LPProblem
+from repro.lp.reduce import reduce_override
 from repro.programs import registry
 
 
@@ -103,22 +104,27 @@ class TestFuzzCorpusParity:
 
         return generate_corpus(len(self.CORPUS_SEEDS), seed=0)
 
-    def _analyze(self, case, backend):
+    def _analyze(self, case, backend, reduce=None):
         options = AnalysisOptions(
             moment_degree=case.moment_degree,
             objective_valuations=(case.valuation,),
             backend=backend,
+            lp_reduce=reduce,
         )
         return analyze(case.parse(), options)
 
-    def test_fuzz_bounds_identical_across_backends(self, corpus):
+    @pytest.mark.parametrize("reduce", [False, True])
+    def test_fuzz_bounds_identical_across_backends(self, corpus, reduce):
+        """Dense-vs-incremental parity must hold with the LP reduction layer
+        both off and on (the reduced path decomposes and presolves the same
+        system for either backend)."""
         checked = 0
         for case in corpus:
             try:
-                dense = self._analyze(case, "dense")
+                dense = self._analyze(case, "dense", reduce=reduce)
             except Exception:
                 continue  # infeasible for the analyzer: parity is vacuous
-            incr = self._analyze(case, "incremental")
+            incr = self._analyze(case, "incremental", reduce=reduce)
             for k in range(1, case.moment_degree + 1):
                 d = dense.raw_interval(k, case.valuation)
                 i = incr.raw_interval(k, case.valuation)
@@ -131,6 +137,29 @@ class TestFuzzCorpusParity:
                 )
                 checked += 1
         assert checked >= 8  # most of the corpus must actually be comparable
+
+    def test_fuzz_bounds_match_with_reduction_on_and_off(self, corpus):
+        """The kill-switch contract on generated programs: moment intervals
+        through the reduced solve path match the direct backend solves."""
+        checked = 0
+        for case in corpus:
+            try:
+                off = self._analyze(case, None, reduce=False)
+            except Exception:
+                continue
+            on = self._analyze(case, None, reduce=True)
+            for k in range(1, case.moment_degree + 1):
+                a = off.raw_interval(k, case.valuation)
+                b = on.raw_interval(k, case.valuation)
+                scale = max(1.0, abs(a.lo), abs(a.hi))
+                assert b.hi == pytest.approx(a.hi, abs=1e-6 * scale), (
+                    case.name, k, "hi",
+                )
+                assert b.lo == pytest.approx(a.lo, abs=1e-6 * scale), (
+                    case.name, k, "lo",
+                )
+                checked += 1
+        assert checked >= 8
 
     def test_fuzz_bounds_stable_under_repeated_incremental_use(self, corpus):
         """Re-analyzing the same program through a *fresh* incremental
@@ -154,10 +183,13 @@ class TestIncrementalAssembly:
     def test_lexicographic_cuts_are_appended_not_rebuilt(self):
         """The regression this backend exists for: across the lexicographic
         stages of one analysis, the HiGHS model is built exactly once and
-        each stage cut arrives via addRows on the persistent model."""
+        each stage cut arrives via addRows on the persistent model.  (The
+        reduction layer is forced off — it routes the solves to per-block
+        backend instances; the reduced counterpart is tested below.)"""
         pipe = AnalysisPipeline(registry.parsed("rdwalk"))
         options = AnalysisOptions(moment_degree=3, backend="incremental")
-        pipe.analyze(options)
+        with reduce_override(False):
+            pipe.analyze(options)
         stats = pipe.constraint_system(options).lp.backend.stats
         assert stats.solves == 3  # one per moment stage
         assert stats.model_builds == 1
@@ -165,12 +197,77 @@ class TestIncrementalAssembly:
         assert stats.rows_appended == 2
         assert stats.fallbacks == 0
 
+    def test_reduced_pins_are_appended_to_block_models(self):
+        """With the reduction layer on, the lexicographic stage pins land on
+        the live per-block models via addRows — no block is ever merged or
+        rebuilt by the stage loop."""
+        pipe = AnalysisPipeline(registry.parsed("rdwalk"))
+        options = AnalysisOptions(moment_degree=3, backend="incremental")
+        with reduce_override(True):
+            pipe.analyze(options)
+        reducer = pipe.constraint_system(options).lp._reducer
+        assert reducer is not None and reducer.last_was_reduced
+        assert reducer.block_merges == 0
+        assert reducer.block_pins >= 1  # at least one non-constant stage pinned
+        # The *problem* backend never solved anything itself.
+        assert pipe.constraint_system(options).lp.backend.stats.solves == 0
+
     def test_dense_backend_rebuilds_per_stage(self):
         pipe = AnalysisPipeline(registry.parsed("rdwalk"))
         options = AnalysisOptions(moment_degree=3, backend="dense")
-        pipe.analyze(options)
+        with reduce_override(False):
+            pipe.analyze(options)
         stats = pipe.constraint_system(options).lp.backend.stats
         assert stats.model_builds == stats.solves == 3
+
+    @pytest.mark.parametrize("backend", ["dense", "incremental"])
+    def test_cut_rows_added_after_reduction_roll_back_cleanly(self, backend):
+        """Rows appended after the reduction snapshot (the lexicographic
+        cuts) are projected onto the live blocks; rolling them back must
+        restore the pristine partition and reproduce the original optimum."""
+        lp = LPProblem(backend=get_backend(backend))
+        x, y = lp.fresh("x"), lp.fresh("y")
+        lam = lp.fresh_nonneg("lam")
+        lp.add_ge(AffForm.of_var(x) - 3.0)
+        lp.add_ge(AffForm.of_var(y) - 1.0)
+        lp.add_eq(AffForm.of_var(lam) - 2.0)
+        with reduce_override(True):
+            first = lp.solve(AffForm.of_var(x) + AffForm.of_var(y))
+            assert first.objective == pytest.approx(4.0)
+            assert first.value_of(lam) == pytest.approx(2.0)
+            cp = lp.checkpoint()
+            # A cut that spans both blocks (x and y live in separate
+            # components) forces a block merge on the reduced path.
+            lp.add_ge(AffForm.of_var(x) + AffForm.of_var(y) - 10.0)
+            cut = lp.solve(AffForm.of_var(x) + AffForm.of_var(y))
+            assert cut.objective == pytest.approx(10.0)
+            lp.rollback(cp)
+            again = lp.solve(AffForm.of_var(x) + AffForm.of_var(y))
+            assert again.objective == pytest.approx(4.0)
+            assert again.value_of(lam) == pytest.approx(2.0)
+
+    def test_pipeline_rollback_keeps_cached_system_resolvable_reduced(self):
+        """Re-solving one cached constraint system under different
+        objectives must give the same bounds as fresh pipelines, with the
+        reduction layer on (stage pins roll back between solves)."""
+        program = registry.parsed("rdwalk")
+        options = AnalysisOptions(moment_degree=2)
+        other = AnalysisOptions(
+            moment_degree=2, objective_valuations=({"d": 7.0, "x": 0.0},)
+        )
+        with reduce_override(True):
+            shared = AnalysisPipeline(program)
+            first = shared.analyze(options)
+            second = shared.analyze(other)
+            fresh_first = AnalysisPipeline(program).analyze(options)
+            fresh_second = AnalysisPipeline(program).analyze(other)
+        for k in (1, 2):
+            assert first.raw_interval(k).hi == pytest.approx(
+                fresh_first.raw_interval(k).hi, rel=1e-9, abs=1e-9
+            )
+            assert second.raw_interval(k).hi == pytest.approx(
+                fresh_second.raw_interval(k).hi, rel=1e-9, abs=1e-9
+            )
 
     def test_checkpoint_rollback_restores_row_counts(self):
         lp = LPProblem(backend=IncrementalBackend())
@@ -193,11 +290,11 @@ class TestIncrementalAssembly:
         lp = LPProblem(backend=IncrementalBackend())
         x = lp.fresh("x")
         lp.add_ge(AffForm.of_var(x) - 1.0)
-        assert lp.solve(AffForm.of_var(x)).objective == pytest.approx(1.0)
+        assert lp.solve(AffForm.of_var(x), reduce=False).objective == pytest.approx(1.0)
         y = lp.fresh("y")
         lp.add_ge(AffForm.of_var(y) - 5.0)
         assert lp.solve(
-            AffForm.of_var(x) + AffForm.of_var(y)
+            AffForm.of_var(x) + AffForm.of_var(y), reduce=False
         ).objective == pytest.approx(6.0)
         assert lp.backend.stats.model_builds == 2
 

@@ -52,6 +52,29 @@ class TestCli:
         assert "cumtime" in text  # cProfile table present
         assert "stage split: derivation" in text
         assert "E[C^1]" in text  # bounds still printed after the profile
+        # LP reduction presolve statistics ride along with the solve stage.
+        assert "lp reduction:" in text
+        from repro.lp.reduce import reduce_enabled
+
+        if reduce_enabled():  # the reduce-off CI leg prints the off notice
+            assert "columns eliminated:" in text
+            assert "components:" in text
+        else:
+            assert "lp reduction: off" in text
+
+    def test_no_lp_reduce_flag_bypasses_reduction(self, source_file):
+        out = io.StringIO()
+        code = run(
+            [
+                "analyze", source_file, "--at", "d=10,x=0,t=0",
+                "--no-lp-reduce", "--profile", "3",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "lp reduction: off" in text
+        assert "E[C^1]" in text
 
     def test_soundness_flag(self, source_file):
         out = io.StringIO()

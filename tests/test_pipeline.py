@@ -144,3 +144,36 @@ class TestSolverMetadata:
         assert len(result.objective_scales) == 2
         assert all(s.startswith(("optimal", "constant")) for s in result.solver_statuses)
         assert all(s > 0 for s in result.objective_scales)
+
+    def test_stage_cut_margins_recorded(self):
+        """Satellite of the solve-layer PR: ``objective_values`` are the
+        un-padded stage optima, and the cut margin actually applied when
+        pinning each stage is recorded per stage (0.0 for the final stage,
+        which pins nothing)."""
+        result = analyze(parse_program(RDWALK), AnalysisOptions(moment_degree=3))
+        assert len(result.stage_tolerances) == 3
+        assert result.stage_tolerances[-1] == 0.0
+        # Stages that pinned something carry a positive margin in the
+        # stage objective's own units.
+        for stage, status in enumerate(result.solver_statuses[:-1]):
+            if status != "constant":
+                assert result.stage_tolerances[stage] > 0.0
+        assert "stage_tolerances" in result.to_dict()
+
+    def test_non_lexicographic_mode_records_single_stage(self):
+        result = analyze(
+            parse_program(RDWALK),
+            AnalysisOptions(moment_degree=2, lexicographic=False),
+        )
+        assert result.stage_tolerances == [0.0]
+
+    def test_reduction_stats_cached_with_solution(self):
+        """The staged artifact carries the reduction mapping stats, so a
+        cache-hitting re-analysis reports the same reduction shape."""
+        pipe = AnalysisPipeline(parse_program(RDWALK))
+        options = AnalysisOptions(moment_degree=2, lp_reduce=True)
+        first = pipe.analyze(options)
+        again = pipe.analyze(options)
+        assert first.lp_reduction is not None
+        assert again.lp_reduction == first.lp_reduction
+        assert first.lp_reduction["reduced_cols"] < first.lp_variables
