@@ -1,49 +1,72 @@
-"""LP solve-layer benchmark: presolve + block decomposition + warm lex.
+"""LP solve-layer benchmark: presolve + blocks + warm lex + worker pool.
 
 Times ``solve_and_resolve`` — everything after constraint derivation:
 the lexicographic LP solve loop plus bound resolution — on the Fig. 10
 scalability programs at moment degree 4, the workload whose stage split
 motivated the LP reduction layer (after PR 4 vectorized derivation, ~80%
 of analysis wall time sat in the solve loop; see ``BENCH_constraints.json``
-``stage_split_rdwalk_chain_2``).  Three configurations:
+``stage_split_rdwalk_chain_2``).  Four configurations:
 
 * ``reduced``  — the default path (``REPRO_DISABLE_LP_REDUCE`` unset):
   presolve over the row buffers, connected-component block models,
   per-block lexicographic pins;
 * ``direct``   — the kill-switch path: the raw system handed to the
   warm-started incremental backend (the PR-4 solve path, unchanged);
+* ``parallel`` — the reduced path with block solves dispatched over the
+  process-parallel worker pool (:mod:`repro.lp.parallel`) at 1, 2, 4 and
+  8 workers — the worker-scaling curve;
 * ``seed``     — hardcoded PR-4 timings (commit ``609d83e``) from the
   machine grid this file was introduced on; the acceptance metric is
   ``seed_total / reduced_total >= 2`` on that machine, with a
   ``direct_total / reduced_total >= 1.5`` floor as the hardware-portable
   proxy (mirroring ``bench_constraint_derivation``).
 
-``rdwalk_chain(3)`` at moment degree 4 is recorded separately: its
-4th-moment template is degenerate (the stage objective rides a ray that
-only the ±1e12 variable box stops) and HiGHS cannot certify it on *any*
-path — the PR-4 baseline raises ``LPError`` on it, as does every solver
-configuration tried (plain/regularized/boxed rungs, dual/primal simplex,
-IPM, with and without the reduction).  The bench asserts both paths agree
-on that outcome and excludes it from the speedup ratio; its entry in the
-JSON documents the failure rather than hiding the program.
+The parallel speedup target (>= 2.5x at 4+ workers) is asserted only on
+machines with at least 4 CPU cores: block solves are CPU-bound, so on a
+1-2 core box the pool can only add IPC overhead and the curve records
+that honestly instead of faking a ratio.  The curve itself (and the
+``parallel_solve_total_seconds`` key CI gates) is recorded on any
+hardware.
+
+``rdwalk_chain(3)`` at moment degree 4 is the degenerate-template
+instance: its 4th-moment stage objective rides a ray of the certificate
+polytope that only the variable box stops, and HiGHS cannot certify the
+solve under the default ±1e12 box on any path.  The analyzer now solves
+it on the default (reduced) path by restarting the lexicographic solve
+under tighter coefficient boxes (the ``lp_restart_bound`` ladder; a
+restricted certificate family is still a sound certificate family).  The
+bench asserts the default path *solves* it and times that solve; the
+kill-switch path still fails — per-block pins and presolve are what make
+the tighter boxes certifiable — and its outcome is recorded in the JSON
+rather than hidden.  The instance stays out of the speedup ratio (the
+seed analyzer could not solve it at all).
+
+The stacked-batch section times the same-shape block stacking on the
+three registry programs whose certificate systems decompose into >= 3
+same-shape blocks (``absynth-c4b_t13``, ``absynth-condand``,
+``absynth-rdseql``): the default stacked path vs the per-block path
+(stacking suppressed), with the group sizes recorded.
 
 Every measured round derives the constraint system in the (untimed) setup
 and times ``pipeline.analyze`` on the primed pipeline, so the number is the
 solve-and-resolve cost one ``analyze`` call pays after derivation.  Rounds
 run via :func:`_harness.timed_median`; the recorded time is the best of k
 (noise is additive; the median rides along in the JSON).  Results land in
-``BENCH_solve.json`` (CI gates ``solve_total_seconds`` against the
-committed baseline) together with the LP shape stats — rows/cols/nnz before
-and after reduction, eliminated-column counts by rule, component sizes —
-recorded from the reduction layer itself.
+``BENCH_solve.json`` (CI gates ``solve_total_seconds`` and
+``parallel_solve_total_seconds`` against the committed baseline) together
+with the LP shape stats recorded from the reduction layer itself.
 """
 
 import json
+import os
 import pathlib
 
 from _harness import emit, timed_median
 from repro import AnalysisOptions, AnalysisPipeline
+from repro.lp import reduce as lp_reduce
+from repro.lp.parallel import shutdown_pool
 from repro.lp.reduce import reduce_override
+from repro.programs import registry
 from repro.programs.synthetic import coupon_chain, rdwalk_chain
 
 RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_solve.json"
@@ -65,15 +88,24 @@ WORKLOAD = {
     "rdwalk_chain(2)": lambda: rdwalk_chain(2),
 }
 
-#: Degenerate-template instance: recorded, never part of the ratio.
-DEGENERATE = {"rdwalk_chain(3)": lambda: rdwalk_chain(3)}
+#: Degenerate-template instance: solved via the restart ladder on the
+#: default path, timed separately, never part of the speedup ratio.
+RESTART_INSTANCE = ("rdwalk_chain(3)", lambda: rdwalk_chain(3))
+
+#: Registry programs whose certificate LPs contain a >= 3-member group of
+#: same-shape blocks (the stacking trigger).
+STACKED_WORKLOAD = ("absynth-c4b_t13", "absynth-condand", "absynth-rdseql")
+
+#: Worker counts of the scaling curve.
+PARALLEL_JOBS = (1, 2, 4, 8)
 
 MOMENT_DEGREE = 4
 ROUNDS = 5
 WARMUP = 1
 
 
-def _solve_seconds(make, reduced: bool):
+def _solve_seconds(make, reduced: bool, lp_jobs: "int | None" = None,
+                   options: AnalysisOptions | None = None):
     """Best-of-k solve+resolve time with the reduction layer forced on/off.
 
     Derivation (stages 1-3) is primed in the untimed per-round setup; a
@@ -84,7 +116,8 @@ def _solve_seconds(make, reduced: bool):
     cost (the median rides the noise and is recorded alongside).
     """
     state: dict = {}
-    options = AnalysisOptions(moment_degree=MOMENT_DEGREE)
+    if options is None:
+        options = AnalysisOptions(moment_degree=MOMENT_DEGREE, lp_jobs=lp_jobs)
 
     def setup():
         pipe = AnalysisPipeline(make())
@@ -103,15 +136,40 @@ def _solve_seconds(make, reduced: bool):
     return min(times), median, shape
 
 
-def _degenerate_outcome(make) -> str:
+def _restart_outcome(make, reduced: bool) -> dict:
+    """One full analysis of the degenerate instance on the given path."""
+    import time
+
     options = AnalysisOptions(moment_degree=MOMENT_DEGREE)
     pipe = AnalysisPipeline(make())
     pipe.constraint_system(options)
-    try:
-        pipe.analyze(options)
-        return "solved"
-    except Exception as exc:
-        return type(exc).__name__
+    started = time.perf_counter()
+    with reduce_override(reduced):
+        try:
+            result = pipe.analyze(options)
+        except Exception as exc:
+            return {
+                "outcome": type(exc).__name__,
+                "seconds": round(time.perf_counter() - started, 3),
+            }
+    return {
+        "outcome": "solved",
+        "seconds": round(time.perf_counter() - started, 3),
+        "restart_bound": result.lp_restart_bound,
+        "first_moment": [
+            result.raw_interval(1).lo, result.raw_interval(1).hi,
+        ],
+    }
+
+
+def _registry_options(name: str) -> AnalysisOptions:
+    bench = registry.get(name)
+    return AnalysisOptions(
+        moment_degree=bench.moment_degree,
+        template_degree=bench.template_degree,
+        degree_cap=bench.degree_cap,
+        objective_valuations=(bench.valuation,) + tuple(bench.extra_valuations),
+    )
 
 
 def test_solve_layer(benchmark):
@@ -128,19 +186,53 @@ def test_solve_layer(benchmark):
         reduced[name], reduced_median[name], shapes[name] = _solve_seconds(make, True)
         direct[name], direct_median[name], _ = _solve_seconds(make, False)
 
-    degenerate = {}
-    for name, make in DEGENERATE.items():
-        with reduce_override(False):
-            off_outcome = _degenerate_outcome(make)
-        with reduce_override(True):
-            on_outcome = _degenerate_outcome(make)
-        degenerate[name] = {"direct": off_outcome, "reduced": on_outcome}
+    # Worker-scaling curve: the same reduced workload, block solves
+    # dispatched at 1/2/4/8 workers (jobs=1 is the sequential in-process
+    # path — the IPC-free baseline of the curve).
+    scaling: dict[int, float] = {}
+    for jobs in PARALLEL_JOBS:
+        total = 0.0
+        for name, make in WORKLOAD.items():
+            best, _, _ = _solve_seconds(make, True, lp_jobs=jobs)
+            total += best
+        scaling[jobs] = total
+    shutdown_pool()
+
+    # Degenerate-template instance: the default path must now solve it
+    # (template-restart ladder); the kill-switch path's outcome is
+    # recorded, not asserted — it has no per-block pins to certify under.
+    restart_name, restart_make = RESTART_INSTANCE
+    restart = {
+        "reduced": _restart_outcome(restart_make, True),
+        "direct": _restart_outcome(restart_make, False),
+    }
+
+    # Stacked same-shape batches vs one model per block.
+    stacked: dict[str, dict] = {}
+    for name in STACKED_WORKLOAD:
+        options = _registry_options(name)
+        make = lambda n=name: registry.parsed(n)
+        on_best, _, on_shape = _solve_seconds(make, True, options=options)
+        saved_min = lp_reduce._STACK_MIN_BLOCKS
+        lp_reduce._STACK_MIN_BLOCKS = 10**9  # suppress stacking
+        try:
+            off_best, _, _ = _solve_seconds(make, True, options=options)
+        finally:
+            lp_reduce._STACK_MIN_BLOCKS = saved_min
+        stacked[name] = {
+            "stacked_seconds": round(on_best, 4),
+            "per_block_seconds": round(off_best, 4),
+            "stacked_sizes": on_shape["stacked_sizes"],
+        }
 
     reduced_total = sum(reduced.values())
     direct_total = sum(direct.values())
     seed_total = sum(SEED_SECONDS.values())
     speedup_vs_seed = seed_total / reduced_total
     speedup_vs_direct = direct_total / reduced_total
+    cores = os.cpu_count() or 1
+    best_jobs = min(scaling, key=scaling.get)
+    parallel_speedup = scaling[1] / scaling[best_jobs]
 
     lines = [
         f"LP solve-layer benchmark ({MOMENT_DEGREE}th-moment fig10 workload, "
@@ -165,11 +257,24 @@ def test_solve_layer(benchmark):
         f"speedup: {speedup_vs_seed:.2f}x vs seed, "
         f"{speedup_vs_direct:.2f}x vs reduction-off"
     )
-    for name, outcome in degenerate.items():
+    lines.append(
+        "worker scaling ("
+        + f"{cores} cores): "
+        + ", ".join(f"{j} jobs: {scaling[j]:.3f}s" for j in PARALLEL_JOBS)
+        + f" — best {scaling[1] / scaling[best_jobs]:.2f}x at {best_jobs}"
+    )
+    lines.append(
+        f"{restart_name}: degenerate 4th-moment template — reduced: "
+        f"{restart['reduced']['outcome']} in {restart['reduced']['seconds']}s "
+        f"(restart bound {restart['reduced'].get('restart_bound')}), direct: "
+        f"{restart['direct']['outcome']} (excluded from the ratio; see "
+        "module docstring)"
+    )
+    for name, entry in stacked.items():
         lines.append(
-            f"{name}: degenerate 4th-moment template — direct: "
-            f"{outcome['direct']}, reduced: {outcome['reduced']} "
-            "(excluded from the ratio; see module docstring)"
+            f"{name}: stacked {entry['stacked_seconds']}s vs per-block "
+            f"{entry['per_block_seconds']}s (group sizes "
+            f"{entry['stacked_sizes']})"
         )
     emit("solve_layer", lines)
 
@@ -183,6 +288,7 @@ def test_solve_layer(benchmark):
                 "warmup": WARMUP,
                 "timing": "min of rounds (median alongside), fresh "
                 "pipeline per round",
+                "cpu_cores": cores,
                 "seed_seconds": SEED_SECONDS,
                 "direct_seconds": {k: round(v, 4) for k, v in direct.items()},
                 "reduced_seconds": {k: round(v, 4) for k, v in reduced.items()},
@@ -198,20 +304,24 @@ def test_solve_layer(benchmark):
                 "solve_total_seconds": round(reduced_total, 4),
                 "speedup_vs_seed": round(speedup_vs_seed, 3),
                 "speedup_vs_direct": round(speedup_vs_direct, 3),
-                "degenerate_instances": degenerate,
+                "parallel_scaling_seconds": {
+                    str(j): round(scaling[j], 4) for j in PARALLEL_JOBS
+                },
+                "parallel_solve_total_seconds": round(scaling[4], 4),
+                "parallel_best_jobs": best_jobs,
+                "parallel_speedup": round(parallel_speedup, 3),
+                "restart_instance": {restart_name: restart},
+                "stacked_batches": stacked,
             },
             indent=2,
         )
         + "\n"
     )
 
-    # Both paths must agree on the degenerate instance's outcome (the
-    # reduction layer may not turn a solver failure into silent garbage, nor
-    # break a program the direct path solves).
-    for name, outcome in degenerate.items():
-        assert (outcome["direct"] == "solved") == (outcome["reduced"] == "solved"), (
-            name, outcome,
-        )
+    # The analyzer must solve the degenerate instance on its default path
+    # (template-restart ladder; PR 6).  The kill-switch path has no
+    # per-block pins, so its outcome is recorded but not constrained.
+    assert restart["reduced"]["outcome"] == "solved", restart
 
     # Acceptance: >= 2x solve_and_resolve speedup vs the PR-4 analyzer on
     # this workload.  The recorded seed timings are from the machine this
@@ -223,6 +333,16 @@ def test_solve_layer(benchmark):
         f"(seed {seed_total:.3f}s), {speedup_vs_direct:.2f}x vs reduction-off "
         f"(direct {direct_total:.3f}s, reduced {reduced_total:.3f}s)"
     )
+
+    # Parallel acceptance (>= 2.5x at 4+ workers) only where the hardware
+    # can express it: block solves are CPU-bound, so with < 4 cores the
+    # curve records the IPC overhead honestly instead of faking a ratio.
+    if cores >= 4:
+        best_4plus = min(scaling[j] for j in PARALLEL_JOBS if j >= 4)
+        assert scaling[1] / best_4plus >= 2.5, (
+            f"parallel scaling below 2.5x on {cores} cores: "
+            + ", ".join(f"{j}: {scaling[j]:.3f}s" for j in PARALLEL_JOBS)
+        )
 
 
 def test_reduction_shrinks_the_solved_core():

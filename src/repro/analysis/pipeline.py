@@ -60,7 +60,7 @@ from repro.logic.absint import ContextMap, compute_contexts
 from repro.logic.context import Context
 from repro.lp.affine import AffForm
 from repro.lp.backends import get_backend
-from repro.lp.core import LPSolution
+from repro.lp.core import LPError, LPInfeasibleError, LPSolution
 from repro.lp.problem import LPProblem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -81,7 +81,12 @@ class AnalysisOptions:
     structure-exploiting LP reduction layer (:mod:`repro.lp.reduce`):
     ``None`` follows the process-wide switch (on unless
     ``REPRO_DISABLE_LP_REDUCE`` is set), ``False``/``True`` force it off/on
-    for this analysis.
+    for this analysis.  ``lp_jobs`` is the LP worker-process budget for
+    the parallel block-solve layer (:mod:`repro.lp.parallel`): ``None``
+    follows the ``REPRO_LP_JOBS`` environment default (unset ⇒ serial),
+    ``0`` means one worker per CPU, ``1`` forces the in-process sequential
+    path.  Parallelism never changes results, so ``lp_jobs`` is not part
+    of any cache key.
     """
 
     moment_degree: int = 2
@@ -95,6 +100,7 @@ class AnalysisOptions:
     degree_cap: int | None = None
     backend: str | None = None
     lp_reduce: bool | None = None
+    lp_jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.moment_degree < 1:
@@ -202,6 +208,10 @@ class StageSolution:
     scales: list[float] = field(default_factory=list)
     tolerances: list[float] = field(default_factory=list)
     reduction: dict | None = None
+    #: Tighter template-coefficient box a restart solved under, or ``None``
+    #: when the solve succeeded at ``options.lp_bound`` (see
+    #: ``_TEMPLATE_RESTART_LADDER``).
+    restart_bound: float | None = None
 
 
 class AnalysisPipeline:
@@ -391,10 +401,8 @@ class AnalysisPipeline:
         with system.solve_lock:
             checkpoint = system.lp.checkpoint()
             try:
-                solution, objective_values, statuses, scales, tolerances = (
-                    _lexicographic_solve(
-                        system.lp, system.main_pre, valuations, options
-                    )
+                solution, objective_values, statuses, scales, tolerances, used = (
+                    _restarting_solve(system.lp, system.main_pre, valuations, options)
                 )
                 reduction = system.lp.reduction_stats()
             finally:
@@ -411,6 +419,7 @@ class AnalysisPipeline:
             scales=scales,
             tolerances=tolerances,
             reduction=reduction,
+            restart_bound=None if used == options.lp_bound else used,
         )
 
     # -- stage 5: resolution --------------------------------------------------
@@ -457,6 +466,7 @@ class AnalysisPipeline:
             objective_scales=list(staged.scales),
             stage_tolerances=list(staged.tolerances),
             lp_reduction=staged.reduction,
+            lp_restart_bound=staged.restart_bound,
             warnings=list(self.context_map().warnings),
             lp_variables=system.num_variables,
             lp_constraints=system.num_constraints,
@@ -589,6 +599,59 @@ def _feasible_point(ctx: Context) -> dict[str, float]:
     return {v: float(result.x[index[v]]) for v in variables}
 
 
+#: Template-restart ladder: progressively tighter template-coefficient boxes
+#: tried when the lexicographic solve fails with a *solver* error (not
+#: infeasibility) at the requested ``lp_bound``.  Degenerate templates — the
+#: known example is ``rdwalk_chain(3)`` at moment degree 4 — put the stage
+#: objective on a ray that only the ±``lp_bound`` box stops; at 1e12 that
+#: vertex is numerically hopeless for HiGHS (the row coefficients are
+#: unit-scale, so the box *is* the conditioning problem) and every cascade
+#: rung reports "unknown".  Re-solving the whole template search under a
+#: tighter box restores conditioning while staying sound: any feasible point
+#: of the boxed system is a feasible point of the original one, so the
+#: resolved bounds remain valid — they are merely taken over a restricted
+#: certificate family.  Infeasibility at a restart rung means the tighter
+#: box cut off every certificate; descending further cannot help, so the
+#: original solver error is re-raised.
+_TEMPLATE_RESTART_LADDER = (1e8, 1e7, 1e6)
+
+
+def _restarting_solve(
+    lp: LPProblem,
+    main_pre: MomentAnnotation,
+    valuations: list[dict[str, float]],
+    options: AnalysisOptions,
+):
+    """``_lexicographic_solve`` with the template-restart ladder.
+
+    Returns the five ``_lexicographic_solve`` outputs plus the ``lp_bound``
+    the successful attempt ran under (== ``options.lp_bound`` when no
+    restart was needed).  Every attempt starts from the caller's checkpoint:
+    stage cuts of a failed attempt are rolled back before the next one.
+    """
+    checkpoint = lp.checkpoint()
+    failure: LPError | None = None
+    ladder = [options.lp_bound] + [
+        b for b in _TEMPLATE_RESTART_LADDER if b < options.lp_bound
+    ]
+    for attempt_bound in ladder:
+        if failure is not None:
+            lp.rollback(checkpoint)
+        try:
+            outcome = _lexicographic_solve(
+                lp, main_pre, valuations,
+                replace(options, lp_bound=attempt_bound),
+            )
+            return outcome + (attempt_bound,)
+        except LPInfeasibleError:
+            if failure is None:
+                raise  # genuinely infeasible at the requested bound
+            raise failure from None  # the tighter box cut off every certificate
+        except LPError as exc:
+            failure = exc
+    raise failure
+
+
 def _lexicographic_solve(
     lp: LPProblem,
     main_pre: MomentAnnotation,
@@ -610,8 +673,11 @@ def _lexicographic_solve(
     stage objective's own units — so results document how tight each pin
     actually was.
     """
+    from repro.lp.parallel import resolve_jobs
+
     m = main_pre.degree
     reduce = options.effective_lp_reduce()
+    jobs = resolve_jobs(options.lp_jobs)
     stage_objectives: list[AffForm] = []
     for k in range(1, m + 1):
         obj = AffForm.constant(0.0)
@@ -632,7 +698,7 @@ def _lexicographic_solve(
         total = AffForm.constant(0.0)
         for obj in stage_objectives:
             total = total + obj
-        solution = lp.solve(total, bound=options.lp_bound, reduce=reduce)
+        solution = lp.solve(total, bound=options.lp_bound, reduce=reduce, jobs=jobs)
         return solution, [solution.objective], [solution.status], [1.0], [0.0]
 
     solution = None
@@ -651,7 +717,7 @@ def _lexicographic_solve(
         # coefficients, and HiGHS is sensitive to objective scaling.
         scale = max(abs(c) for c in obj.terms.values())
         scaled = obj * (1.0 / scale)
-        solution = lp.solve(scaled, bound=options.lp_bound, reduce=reduce)
+        solution = lp.solve(scaled, bound=options.lp_bound, reduce=reduce, jobs=jobs)
         objective_values.append(solution.objective * scale)
         statuses.append(solution.status)
         scales.append(scale)
@@ -668,7 +734,7 @@ def _lexicographic_solve(
         else:
             tolerances.append(0.0)
     if solution is None:
-        solution = lp.solve(None, bound=options.lp_bound, reduce=reduce)
+        solution = lp.solve(None, bound=options.lp_bound, reduce=reduce, jobs=jobs)
     return solution, objective_values, statuses, scales, tolerances
 
 

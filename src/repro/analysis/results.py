@@ -76,6 +76,11 @@ class MomentBoundResult:
     #: LP reduction layer stats (columns eliminated, rows deduped, component
     #: sizes, ...) when the solve went through :mod:`repro.lp.reduce`.
     lp_reduction: dict | None = None
+    #: Tighter template-coefficient box the solve succeeded under after a
+    #: template restart (``None`` for the normal no-restart path); bounds
+    #: are then taken over the certificate family restricted to that box —
+    #: still sound, possibly conservative.
+    lp_restart_bound: float | None = None
     warnings: list[str] = field(default_factory=list)
     lp_variables: int = 0
     lp_constraints: int = 0
@@ -166,6 +171,7 @@ class MomentBoundResult:
             "objective_scales": self.objective_scales,
             "stage_tolerances": self.stage_tolerances,
             "lp_reduction": self.lp_reduction,
+            "lp_restart_bound": self.lp_restart_bound,
             "warnings": self.warnings,
             "lp_variables": self.lp_variables,
             "lp_constraints": self.lp_constraints,
@@ -189,6 +195,11 @@ class MomentBoundResult:
         if any(self.stage_tolerances):
             margins = ", ".join(f"{t:.3g}" for t in self.stage_tolerances)
             lines.append(f"  lex cut margins: [{margins}]")
+        if self.lp_restart_bound is not None:
+            lines.append(
+                f"  template restart: solved under the ±{self.lp_restart_bound:g} "
+                "coefficient box (degenerate template at the requested bound)"
+            )
         for k in range(1, self.raw.degree + 1):
             lines.append(f"  E[C^{k}] in [{self.lower_str(k)}, {self.upper_str(k)}]")
         if self.valuations:

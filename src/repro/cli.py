@@ -75,6 +75,13 @@ def _add_backend_flag(cmd: argparse.ArgumentParser) -> None:
         help="solve the raw LP directly, bypassing the presolve/"
         "decomposition reduction layer (repro.lp.reduce)",
     )
+    cmd.add_argument(
+        "--lp-jobs", type=int, default=None, metavar="N",
+        help="LP block-solve worker processes: unset reads REPRO_LP_JOBS "
+        "(unset means sequential), 0 means one per CPU, 1 means sequential; "
+        "in process-mode batch runs --workers takes precedence and workers "
+        "solve sequentially",
+    )
 
 
 def _add_cache_flag(cmd: argparse.ArgumentParser) -> None:
@@ -251,6 +258,7 @@ def _run_analyze(args, out) -> int:
         objective_valuations=valuations,
         backend=args.backend,
         lp_reduce=False if args.no_lp_reduce else None,
+        lp_jobs=args.lp_jobs,
     )
     pipeline = AnalysisPipeline(program, artifacts=_make_cache(args))
     if args.profile is not None:
@@ -372,6 +380,44 @@ def _print_reduction_stats(stats, enabled: bool, out) -> None:
     if times:
         shown = ", ".join(f"block {bid}: {sec:.3f}s" for bid, sec in times[:8])
         print(f"last solve per-component times: {shown}", file=out)
+    stacked = stats.get("stacked_groups") or 0
+    if stacked:
+        sizes = ", ".join(str(s) for s in stats.get("stacked_sizes", [])[:8])
+        print(
+            f"stacked batches: {stacked} (group sizes {sizes}) — same-shape "
+            "blocks solved as one block-diagonal LP",
+            file=out,
+        )
+    _print_parallel_stats(stats.get("parallel"), out)
+
+
+def _print_parallel_stats(par, out) -> None:
+    """Parallel block-solve statistics (``--profile`` with --lp-jobs > 1)."""
+    if not par:
+        return
+    wall = par["wall_seconds"]
+    overhead = par["overhead_seconds"] + par["serialize_seconds"]
+    share = overhead / wall if wall > 0 else 0.0
+    print(
+        f"--- lp parallel: {par['jobs']} workers, {par['tasks']} block solves "
+        f"over {par['dispatches']} dispatches ---",
+        file=out,
+    )
+    print(
+        f"ipc: {par['payload_bytes'] / 1024:.1f} KiB shipped, "
+        f"serialize {par['serialize_seconds']:.3f}s; dispatch wall "
+        f"{wall:.3f}s, overhead {overhead:.3f}s ({share:.0%} of wall)",
+        file=out,
+    )
+    per_worker = ", ".join(
+        f"w{wid}: {par['worker_blocks'].get(wid, 0)} blocks/"
+        f"{par['worker_seconds'].get(wid, 0.0):.3f}s"
+        for wid in sorted(
+            set(par["worker_blocks"]) | set(par["worker_seconds"])
+        )
+    )
+    if per_worker:
+        print(f"per-worker: {per_worker}", file=out)
 
 
 def _run_batch(args, out) -> int:
@@ -388,6 +434,7 @@ def _run_batch(args, out) -> int:
             objective_valuations=(bench.valuation,) + tuple(bench.extra_valuations),
             backend=args.backend,
             lp_reduce=False if args.no_lp_reduce else None,
+            lp_jobs=args.lp_jobs,
         )
         workload[name] = (registry.parsed(name), options)
     if not workload:
@@ -464,6 +511,7 @@ def _run_fuzz(args, out) -> int:
             cache=cache,
             out_dir=args.out,
             lp_reduce=False if args.no_lp_reduce else None,
+            lp_jobs=args.lp_jobs,
         )
         combined.outcomes.extend(report.outcomes)
         combined.elapsed = time.perf_counter() - started

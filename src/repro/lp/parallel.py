@@ -1,0 +1,485 @@
+"""Process-parallel block LP solving over a persistent worker pool.
+
+The reduction layer (:mod:`repro.lp.reduce`) decomposes each Handelman
+certificate system into independent connected-component blocks, but PR 5
+solved them sequentially: highspy holds the GIL for the duration of a
+solve, so threads cannot overlap block solves and multicore hardware sits
+idle on exactly the workload the scaling grid measures.  This module adds
+the missing process dimension:
+
+* **Persistent workers, sticky routing.**  A pool of worker processes
+  (forked once, reused across solves and programs) receives block solve
+  tasks over per-worker pipes.  A block is always routed to the same
+  worker (``uid % jobs``), so the worker-side model cache plays the role
+  the in-process persistent backend plays sequentially: stage ``k``'s
+  re-solve of a block finds the warm model stage ``k-1`` built, and only
+  the appended cut/pin rows cross the process boundary as new model rows.
+* **CSR shipping.**  Tasks carry the block's rows as the NumPy CSR arrays
+  the backends already export (:meth:`LPBackend.row_arrays`) — no
+  per-row Python objects are pickled; the arrays pickle as flat buffers.
+  Workers diff the shipped row counts against their cached model and
+  append only the suffix (the parent's live blocks are append-only
+  between cache-key changes, which is what makes the diff sound).
+* **Error and crash isolation.**  A worker exception travels home as a
+  typed marker and re-raises in the parent as the matching
+  :class:`~repro.lp.core.LPError` /
+  :class:`~repro.lp.core.LPInfeasibleError`.  A worker *crash* (killed,
+  segfaulted native solver, poisoned block) fails only the solve that
+  was in flight — the pool respawns the worker and the next solve
+  proceeds — so in a batch run the poisoned program fails and the batch
+  survives.
+
+``REPRO_DISABLE_LP_PARALLEL`` is the kill switch, mirroring
+``REPRO_DISABLE_LP_REDUCE`` / ``REPRO_DISABLE_HIGHS``; with it set (or
+``lp_jobs`` unset/1) every solve stays on the sequential in-process path
+and no worker is ever spawned.  ``REPRO_LP_JOBS`` supplies a process-wide
+default for ``AnalysisOptions.lp_jobs`` (``0`` = one worker per CPU).
+
+Parity contract: the parallel path must produce byte-identical bounds to
+the sequential path.  Workers replay exactly the (build, append, solve)
+call sequence the parent would have made on its own block backends, the
+parent applies results in block order, and objective values are
+recomputed parent-side with the same float arithmetic — so the only
+process-dependent state, HiGHS' internal warm-start trajectory, sees the
+same inputs in the same order on either path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lp.backends.base import EQ, GE, get_backend
+from repro.lp.core import LPError, LPInfeasibleError
+
+__all__ = [
+    "BlockTask",
+    "WorkerCrashError",
+    "WorkerPool",
+    "ensure_pool",
+    "forget_pool",
+    "parallel_enabled",
+    "parallel_override",
+    "pool_stats",
+    "resolve_jobs",
+    "set_parallel_enabled",
+    "shutdown_pool",
+]
+
+_ENABLED = not os.environ.get("REPRO_DISABLE_LP_PARALLEL")
+
+#: Worker-side warm model cache size.  Each entry is one live block's
+#: backend (for the incremental backend: a persistent HiGHS model); the
+#: bound exists to keep long fuzz/batch runs from accumulating one model
+#: per block ever seen.
+_WORKER_CACHE_LIMIT = 64
+
+#: Seconds the parent waits on a worker before probing whether it died.
+#: Solves can legitimately run for minutes (degenerate templates), so the
+#: probe loop only turns a *dead* worker into an error, never a slow one.
+_POLL_SECONDS = 0.05
+
+#: Test hook, inherited by forked workers: called with each task before
+#: solving.  ``tests/test_lp_parallel.py`` installs a hook that
+#: ``os._exit``-s on a marked block to simulate a native-solver crash.
+_TEST_WORKER_HOOK = None
+
+
+def parallel_enabled() -> bool:
+    """Whether the parallel solve layer is active in this process."""
+    return _ENABLED
+
+
+def set_parallel_enabled(enabled: bool) -> bool:
+    """Toggle the parallel layer (returns the previous state)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def parallel_override(enabled: bool):
+    """Run a block with the parallel layer forced on or off."""
+    previous = set_parallel_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_parallel_enabled(previous)
+
+
+def resolve_jobs(lp_jobs: "int | None") -> int:
+    """Effective LP worker count for one analysis.
+
+    ``None`` follows the ``REPRO_LP_JOBS`` environment default (unset ⇒
+    serial); ``0`` means one worker per CPU; any other value is taken as
+    given (floored at 1).  The kill switch forces 1 regardless.
+    """
+    if not _ENABLED:
+        return 1
+    if lp_jobs is None:
+        env = os.environ.get("REPRO_LP_JOBS")
+        if not env:
+            return 1
+        try:
+            lp_jobs = int(env)
+        except ValueError:
+            return 1
+    if lp_jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, lp_jobs)
+
+
+class WorkerCrashError(LPError):
+    """A pool worker died mid-solve (killed / native crash)."""
+
+
+@dataclass
+class BlockTask:
+    """One block solve shipped to a worker, in CSR form.
+
+    ``key`` identifies the live block across solves (solver token + block
+    uid): the worker caches its built model under it and appends only the
+    row suffix past the counts it has already ingested.  The full arrays
+    ride along every time — they are flat NumPy buffers, cheap to pickle,
+    and make the task self-sufficient when the worker's cache was evicted
+    or the worker was respawned after a crash.
+    """
+
+    key: tuple
+    backend_name: str
+    ncols: int
+    nonneg: np.ndarray  # local nonnegative column indices, int64
+    eq: tuple  # (starts, cols, vals, rhs) per the row_arrays contract
+    ge: tuple
+    objective: "dict[int, float] | None"
+    minimize: bool
+    bound: float
+    regularization: float
+    #: Rider-cleanup mode (see ``ReducedSolver._cleanup_riders``): solve
+    #: under a transient pin row, then roll the model back so the cached
+    #: row counts stay at the pre-pin state — mirroring the checkpoint/
+    #: rollback the sequential path performs on the parent backend (which
+    #: includes its side effect: the rollback drops the warm model, so the
+    #: next stage cold-starts on either path).
+    cleanup: bool = False
+    pin: "tuple | None" = None  # (terms, const) GE row, or None
+
+    def payload_bytes(self) -> int:
+        total = 0
+        for starts, cols, vals, rhs in (self.eq, self.ge):
+            total += starts.nbytes + cols.nbytes + vals.nbytes + rhs.nbytes
+        return total + self.nonneg.nbytes
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerPool:
+    """Sized stand-in for the variable pool inside a worker."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class _WorkerShim:
+    """The slice of the problem façade a backend needs, worker-side.
+
+    Diagnostics live with the parent problem (note labels never cross the
+    pipe); infeasibility messages are re-annotated parent-side.
+    """
+
+    __slots__ = ("pool", "nonneg_indices")
+
+    def __init__(self, n: int, nonneg: set[int]) -> None:
+        self.pool = _WorkerPool(n)
+        self.nonneg_indices = nonneg
+
+    def infeasibility_diagnostics(self) -> str:
+        return ""
+
+
+def _worker_append_rows(backend, kind: str, arrays, start: int) -> int:
+    starts, cols, vals, rhs = arrays
+    total = len(rhs)
+    for r in range(start, total):
+        lo, hi = int(starts[r]), int(starts[r + 1])
+        terms = dict(zip(cols[lo:hi].tolist(), vals[lo:hi].tolist()))
+        backend.add_row(kind, terms, -float(rhs[r]))
+    return total
+
+def _worker_main(conn) -> None:
+    """Worker process loop: receive tasks, solve, reply; exit on ``None``.
+
+    The cache maps task keys to ``(backend, shim, eq_rows, ge_rows)``;
+    insertion order doubles as LRU order (re-inserted on hit).
+    """
+    cache: dict[tuple, tuple] = {}
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        if task is None:
+            return
+        if _TEST_WORKER_HOOK is not None:
+            _TEST_WORKER_HOOK(task)
+        started = time.perf_counter()
+        try:
+            entry = cache.pop(task.key, None)
+            if entry is None:
+                backend = get_backend(task.backend_name)
+                shim = _WorkerShim(task.ncols, set(task.nonneg.tolist()))
+                eq_rows = ge_rows = 0
+            else:
+                backend, shim, eq_rows, ge_rows = entry
+            eq_rows = _worker_append_rows(backend, EQ, task.eq, eq_rows)
+            ge_rows = _worker_append_rows(backend, GE, task.ge, ge_rows)
+            cache[task.key] = (backend, shim, eq_rows, ge_rows)
+            while len(cache) > _WORKER_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            if task.cleanup:
+                checkpoint = backend.checkpoint()
+                if task.pin is not None:
+                    backend.add_row(GE, task.pin[0], task.pin[1])
+                try:
+                    solution = backend.solve(
+                        shim,
+                        task.objective,
+                        0.0,
+                        task.minimize,
+                        task.bound,
+                        task.regularization,
+                    )
+                finally:
+                    backend.rollback(checkpoint)
+            else:
+                solution = backend.solve(
+                    shim,
+                    task.objective,
+                    0.0,
+                    task.minimize,
+                    task.bound,
+                    task.regularization,
+                )
+            reply = (
+                "ok",
+                solution.values,
+                solution.status,
+                time.perf_counter() - started,
+            )
+        except LPInfeasibleError as exc:
+            reply = ("infeasible", str(exc), time.perf_counter() - started)
+        except Exception as exc:  # noqa: BLE001 - typed marker, parent re-raises
+            reply = (
+                "error",
+                type(exc).__name__,
+                str(exc),
+                time.perf_counter() - started,
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent LP solver processes.
+
+    One pipe pair per worker; tasks are routed by ``task.key``'s block uid
+    so repeated solves of one block land on one worker (warm model reuse).
+    The pool is process-wide (see :func:`ensure_pool`): concurrent batch
+    threads share its workers, which is what keeps the machine at one
+    worker budget instead of one pool per program.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        import multiprocessing as mp
+
+        self.jobs = jobs
+        self._ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+        self._conns = []
+        self._procs = []
+        self._lock = threading.Lock()
+        self.tasks_dispatched = 0
+        self.crashes = 0
+        self.respawns = 0
+        for _ in range(jobs):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._conns.append(parent_conn)
+        self._procs.append(proc)
+
+    def _respawn(self, wid: int) -> None:
+        try:
+            self._conns[wid].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        proc = self._procs[wid]
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+        proc.join(timeout=5)
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[wid] = parent_conn
+        self._procs[wid] = proc
+        self.respawns += 1
+
+    def route(self, uid: int) -> int:
+        return uid % self.jobs
+
+    def solve_all(self, tasks: "list[BlockTask]") -> list:
+        """Dispatch tasks to their sticky workers; gather all replies.
+
+        Returns one reply tuple per task, in task order.  Worker death
+        surfaces as a ``("crashed", ...)`` reply for every task that was
+        assigned to the dead worker; the worker is respawned before
+        returning so the pool stays at full strength.
+        """
+        with self._lock:
+            by_worker: dict[int, list[int]] = {}
+            for i, task in enumerate(tasks):
+                by_worker.setdefault(self.route(task.key[-1]), []).append(i)
+            for wid, indices in by_worker.items():
+                conn = self._conns[wid]
+                try:
+                    for i in indices:
+                        conn.send(tasks[i])
+                except (BrokenPipeError, OSError):
+                    pass  # detected on the receive side below
+            self.tasks_dispatched += len(tasks)
+            replies: list = [None] * len(tasks)
+            for wid, indices in by_worker.items():
+                conn = self._conns[wid]
+                proc = self._procs[wid]
+                dead = False
+                for i in indices:
+                    if dead:
+                        replies[i] = ("crashed", proc.exitcode)
+                        continue
+                    while True:
+                        if conn.poll(_POLL_SECONDS):
+                            try:
+                                replies[i] = conn.recv()
+                            except (EOFError, OSError):
+                                dead = True
+                            break
+                        if not proc.is_alive():
+                            # Drain anything sent before death, then fail.
+                            if conn.poll(0):
+                                continue
+                            dead = True
+                            break
+                    if dead:
+                        replies[i] = ("crashed", proc.exitcode)
+                if dead:
+                    self.crashes += 1
+                    self._respawn(wid)
+            return replies
+
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+    def stats(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "tasks_dispatched": self.tasks_dispatched,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+        }
+
+
+_POOL: "WorkerPool | None" = None
+
+
+def ensure_pool(jobs: int) -> WorkerPool:
+    """The process-wide pool, (re)created at ``jobs`` workers.
+
+    A size change tears the old pool down first — two pools would defeat
+    the shared-budget point.  Callers race-free by construction: the
+    reduction layer calls this under the pipeline's solve lock, and
+    concurrent batch threads converge on one size (their options share
+    ``lp_jobs``).
+    """
+    global _POOL
+    if _POOL is not None and _POOL.jobs != jobs:
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(jobs)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the pool's workers (tests; also registered atexit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+def forget_pool() -> None:
+    """Drop the pool reference without touching its processes/pipes.
+
+    For freshly forked children (batch process workers): the inherited
+    pool state belongs to the parent — using it from the child would
+    interleave two processes on one pipe — and closing it would tear down
+    the parent's workers.  Children run with ``lp_jobs`` forced to 1, so
+    they never need a pool of their own.
+    """
+    global _POOL
+    _POOL = None
+
+
+def pool_stats() -> "dict | None":
+    """Lifetime counters of the live pool, or ``None`` when no pool runs."""
+    return _POOL.stats() if _POOL is not None else None
+
+
+def estimate_payload(task: BlockTask) -> int:
+    """Approximate pickled size of one task (for IPC overhead stats)."""
+    return task.payload_bytes() + len(pickle.dumps(task.objective))
+
+
+atexit.register(shutdown_pool)

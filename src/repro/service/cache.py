@@ -43,7 +43,11 @@ from repro.lang.printer import canonical_program
 #: 2: the LP reduction layer — LPProblem carries certificate spans and
 #: protected columns, StageSolution carries cut margins and reduction
 #: stats, and solve keys include the reduction option.
-CACHE_FORMAT = 2
+#: 3: stacked same-shape block solves — the live partition concatenates
+#: small same-shape blocks, which moves solution vertices on degenerate
+#: optimal faces (bounds agree to solver tolerance, bytes differ); results
+#: also carry ``restart_bound`` / parallel-solve stats.
+CACHE_FORMAT = 3
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 

@@ -259,6 +259,7 @@ def check_case(
     config: DifferentialConfig | None = None,
     backend: str | None = None,
     lp_reduce: "bool | None" = None,
+    lp_jobs: "int | None" = None,
 ) -> CaseOutcome:
     """Run the full differential check on a single case, in-process."""
     config = config or DifferentialConfig()
@@ -268,7 +269,7 @@ def check_case(
     started = time.perf_counter()
     try:
         result = AnalysisPipeline(program).analyze(
-            _case_options(case, backend, lp_reduce)
+            _case_options(case, backend, lp_reduce, lp_jobs)
         )
     except Exception as exc:
         return CaseOutcome(
@@ -285,12 +286,14 @@ def _case_options(
     case: FuzzCase,
     backend: str | None = None,
     lp_reduce: "bool | None" = None,
+    lp_jobs: "int | None" = None,
 ) -> AnalysisOptions:
     return AnalysisOptions(
         moment_degree=case.moment_degree,
         objective_valuations=(case.valuation,),
         backend=backend,
         lp_reduce=lp_reduce,
+        lp_jobs=lp_jobs,
     )
 
 
@@ -543,6 +546,7 @@ def run_differential(
     cache: ArtifactCache | None = None,
     out_dir: str | None = None,
     lp_reduce: "bool | None" = None,
+    lp_jobs: "int | None" = None,
 ) -> DifferentialReport:
     """Differential-check a corpus; see the module docstring.
 
@@ -554,7 +558,7 @@ def run_differential(
     config = config or DifferentialConfig()
     started = time.perf_counter()
     workload = {
-        case.name: (case.parse(), _case_options(case, backend, lp_reduce))
+        case.name: (case.parse(), _case_options(case, backend, lp_reduce, lp_jobs))
         for case in cases
     }
     batch = run_batch(workload, jobs=jobs, executor=executor, cache=cache)

@@ -1,0 +1,375 @@
+"""The process-parallel block solve layer (:mod:`repro.lp.parallel`).
+
+Four levels of coverage:
+
+* the dispatch plumbing — ``resolve_jobs`` semantics (``REPRO_LP_JOBS``
+  default, ``0`` = per-CPU, kill switch wins), the ``parallel_override``
+  switch contract, and the batch executor's single-worker-budget rule
+  (process-mode workers force ``lp_jobs=1``);
+* **byte-identical parity** — the module's core contract: analyses with
+  ``lp_jobs=2`` must reproduce the sequential bounds *bit for bit* (not
+  to tolerance) on every registry program and on the seed-0 fuzz corpus,
+  because workers replay the exact (build, append, solve) trajectory the
+  parent would have run, cleanup riders included;
+* worker-crash isolation — a poisoned block (simulated native-solver
+  crash via ``_TEST_WORKER_HOOK``) fails only its own solve with
+  :class:`WorkerCrashError`; the pool respawns the dead worker and the
+  next solve on the same pool succeeds;
+* the stacked same-shape batch path — ``_stack_plan`` groups >= 3
+  same-shape small blocks into one block-diagonal model, values still
+  match the direct (unreduced) solve, and stacking is identical on the
+  sequential and parallel paths.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import AnalysisOptions, analyze
+from repro.lp import parallel
+from repro.lp.affine import AffForm
+from repro.lp.parallel import (
+    WorkerCrashError,
+    parallel_enabled,
+    parallel_override,
+    pool_stats,
+    resolve_jobs,
+    set_parallel_enabled,
+    shutdown_pool,
+)
+from repro.lp.problem import LPProblem
+from repro.programs import registry
+
+
+def teardown_module(module):
+    # Leave no worker processes behind for unrelated test modules.
+    shutdown_pool()
+
+
+def fingerprint(result):
+    """Everything the analysis pins, exactly — for byte-identity checks."""
+    return (
+        tuple(result.objective_values),
+        tuple(result.solver_statuses),
+        tuple(result.stage_tolerances),
+        tuple(
+            (iv.lo, iv.hi)
+            for iv in result.raw_intervals()
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Switches and job resolution
+# ---------------------------------------------------------------------------
+
+
+class TestSwitch:
+    def test_override_restores_previous_state(self):
+        before = parallel_enabled()
+        with parallel_override(not before):
+            assert parallel_enabled() is (not before)
+        assert parallel_enabled() is before
+
+    def test_set_returns_previous(self):
+        before = set_parallel_enabled(False)
+        try:
+            assert parallel_enabled() is False
+        finally:
+            set_parallel_enabled(before)
+
+    def test_env_kill_switch_disables_at_import(self):
+        code = (
+            "from repro.lp.parallel import parallel_enabled, resolve_jobs;"
+            "assert not parallel_enabled();"
+            "assert resolve_jobs(8) == 1"
+        )
+        env = dict(os.environ, REPRO_DISABLE_LP_PARALLEL="1")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_disabled_layer_never_dispatches(self):
+        lp = _independent_blocks(2)
+        before = (pool_stats() or {}).get("tasks_dispatched", 0)
+        with parallel_override(False):
+            solution = lp.solve(_total_objective(lp), jobs=4)
+        after = (pool_stats() or {}).get("tasks_dispatched", 0)
+        assert after == before
+        assert solution.status.startswith("optimal")
+
+
+class TestResolveJobs:
+    def test_none_without_env_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LP_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_none_follows_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LP_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_bad_env_value_is_sequential(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LP_JOBS", "many")
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_one_per_cpu(self):
+        assert resolve_jobs(0) == max(1, os.cpu_count() or 1)
+
+    def test_explicit_value_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LP_JOBS", "7")
+        assert resolve_jobs(2) == 2
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(-4) == 1
+
+    def test_kill_switch_forces_sequential(self):
+        with parallel_override(False):
+            assert resolve_jobs(8) == 1
+            assert resolve_jobs(0) == 1
+
+
+class TestExecutorBudget:
+    def test_process_worker_forces_sequential_lp(self):
+        """The batch executor's worker job runs with ``lp_jobs`` forced to 1
+        (one worker budget: ``--workers`` wins over ``--lp-jobs``), so an
+        in-process call with ``lp_jobs=4`` must never create an LP pool."""
+        from repro.service.executor import _worker_job
+
+        shutdown_pool()
+        from repro.lang.printer import canonical_program
+        from repro.programs.synthetic import coupon_chain
+
+        name, result, error, _ = _worker_job(
+            "probe",
+            canonical_program(coupon_chain(2)),
+            AnalysisOptions(moment_degree=1, lp_jobs=4),
+        )
+        assert error is None, error
+        assert result is not None
+        assert pool_stats() is None  # forced sequential: no pool spawned
+
+
+# ---------------------------------------------------------------------------
+# Hand-built LPs: dispatch, stacking, crash isolation
+# ---------------------------------------------------------------------------
+
+
+def _independent_blocks(n: int, rows_per_block: int = 2) -> LPProblem:
+    """``n`` structurally identical independent blocks: two nonnegative
+    variables coupled by one equality plus lower-bound inequalities."""
+    lp = LPProblem()
+    for b in range(n):
+        x = lp.fresh_nonneg(f"x{b}")
+        y = lp.fresh_nonneg(f"y{b}")
+        lp.add_eq(AffForm.of_var(x) + AffForm.of_var(y) - 10.0)
+        lp.add_ge(AffForm.of_var(x) - 2.0)
+        for extra in range(rows_per_block - 2):
+            lp.add_ge(AffForm.of_var(y) - 1.0 - extra)
+    return lp
+
+
+def _total_objective(lp: LPProblem) -> AffForm:
+    return AffForm({index: 1.0 for index in sorted(lp.nonneg_indices)})
+
+
+class TestParallelDispatch:
+    def test_parallel_solution_matches_sequential(self):
+        sequential = _independent_blocks(4).solve(
+            _total_objective(_independent_blocks(4))
+        )
+        lp = _independent_blocks(4)
+        parallel_solution = lp.solve(_total_objective(lp), jobs=2)
+        assert parallel_solution.values.tolist() == sequential.values.tolist()
+        assert parallel_solution.objective == sequential.objective
+        assert pool_stats() is not None
+        assert pool_stats()["jobs"] == 2
+
+    def test_repeated_solves_reuse_the_pool(self):
+        lp = _independent_blocks(4)
+        obj = _total_objective(lp)
+        lp.solve(obj, jobs=2)
+        first = pool_stats()["tasks_dispatched"]
+        lp2 = _independent_blocks(4)
+        lp2.solve(_total_objective(lp2), jobs=2)
+        assert pool_stats()["tasks_dispatched"] > first
+        assert pool_stats()["respawns"] == 0
+
+    def test_infeasible_block_raises_in_parent(self):
+        lp = _independent_blocks(3)
+        x = lp.fresh_nonneg("bad")
+        lp.add_ge(-AffForm.of_var(x) - 1.0)  # -bad >= 1 with bad >= 0
+        from repro.lp.problem import LPInfeasibleError
+
+        with pytest.raises(LPInfeasibleError):
+            lp.solve(_total_objective(lp), jobs=2)
+
+
+class TestStacking:
+    def test_same_shape_blocks_are_stacked(self):
+        lp = _independent_blocks(4)
+        solution = lp.solve(_total_objective(lp))
+        assert lp._reducer is not None
+        assert lp._reducer.stacked_groups == 1
+        assert lp._reducer.stacked_sizes == [4]
+        # x >= 2, x + y == 10, y >= 1; min x+y is 10 per block.
+        assert solution.objective == pytest.approx(40.0)
+
+    def test_stacked_values_match_direct_solve(self):
+        stacked = _independent_blocks(5)
+        got = stacked.solve(_total_objective(stacked))
+        direct = _independent_blocks(5)
+        want = direct.solve(_total_objective(direct), reduce=False)
+        assert got.objective == pytest.approx(want.objective, abs=1e-7)
+
+    def test_differently_shaped_blocks_do_not_stack(self):
+        lp = _independent_blocks(2)  # only two same-shape blocks: below min
+        z = lp.fresh_nonneg("z")
+        lp.add_ge(AffForm.of_var(z) - 1.0)
+        lp.solve(_total_objective(lp))
+        assert lp._reducer.stacked_groups == 0
+
+    def test_stacking_is_identical_under_parallel_dispatch(self):
+        a = _independent_blocks(4)
+        sa = a.solve(_total_objective(a))
+        b = _independent_blocks(4)
+        sb = b.solve(_total_objective(b), jobs=2)
+        assert a._reducer.stacked_sizes == b._reducer.stacked_sizes
+        assert sa.values.tolist() == sb.values.tolist()
+
+
+class TestCrashIsolation:
+    #: Marker smuggled through ``BlockTask.bound``: the poisoned hook kills
+    #: the worker only for solves run under this (otherwise unused) box.
+    POISON_BOUND = 123456.0
+
+    @pytest.fixture
+    def poisoned_pool(self):
+        def hook(task):
+            if task.bound == self.POISON_BOUND:
+                os._exit(13)
+
+        shutdown_pool()  # fresh fork must inherit the hook
+        parallel._TEST_WORKER_HOOK = hook
+        try:
+            yield
+        finally:
+            parallel._TEST_WORKER_HOOK = None
+            shutdown_pool()  # drop the poisoned workers
+
+    def test_crash_raises_and_pool_survives(self, poisoned_pool):
+        lp = _independent_blocks(4)
+        obj = _total_objective(lp)
+        # Healthy solve first: workers are up and caching models.
+        lp.solve(obj, jobs=2)
+        with pytest.raises(WorkerCrashError):
+            lp2 = _independent_blocks(4)
+            lp2.solve(_total_objective(lp2), jobs=2, bound=self.POISON_BOUND)
+        stats = pool_stats()
+        assert stats["crashes"] >= 1
+        assert stats["respawns"] >= 1
+        # The respawned worker serves the next solve.
+        lp3 = _independent_blocks(4)
+        solution = lp3.solve(_total_objective(lp3), jobs=2)
+        assert solution.objective == pytest.approx(40.0)
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical parity on real analyses
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryParity:
+    """``lp_jobs=2`` must reproduce the sequential analysis *bit for bit*.
+
+    Approximate agreement is not enough: the certificate LPs have massively
+    degenerate optimal faces, and any divergence in the warm-start
+    trajectory (a block solved cold here, warm there) lands on a different
+    vertex.  Byte-identity is what proves the workers replay the parent's
+    exact solve sequence — cleanup riders and rollback side effects
+    included."""
+
+    @pytest.mark.parametrize("name", sorted(registry.all_benchmarks()))
+    def test_bounds_identical_with_and_without_workers(self, name):
+        bench = registry.get(name)
+        common = dict(
+            moment_degree=2,
+            template_degree=bench.template_degree,
+            degree_cap=bench.degree_cap,
+            objective_valuations=(bench.valuation,) + tuple(bench.extra_valuations),
+        )
+        sequential = analyze(
+            registry.parsed(name), AnalysisOptions(lp_jobs=1, **common)
+        )
+        parallel_result = analyze(
+            registry.parsed(name), AnalysisOptions(lp_jobs=2, **common)
+        )
+        assert fingerprint(parallel_result) == fingerprint(sequential)
+
+
+class TestFuzzCorpusParity:
+    """Generated programs (seed 0 corpus) through both dispatch paths."""
+
+    CORPUS_SIZE = 50
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.programs.fuzz import generate_corpus
+
+        return generate_corpus(self.CORPUS_SIZE, seed=0)
+
+    def test_fuzz_bounds_identical_with_and_without_workers(self, corpus):
+        checked = 0
+        for case in corpus:
+            common = dict(
+                moment_degree=case.moment_degree,
+                objective_valuations=(case.valuation,),
+            )
+            try:
+                sequential = analyze(
+                    case.parse(), AnalysisOptions(lp_jobs=1, **common)
+                )
+            except Exception:
+                continue  # infeasible for the analyzer: parity is vacuous
+            parallel_result = analyze(
+                case.parse(), AnalysisOptions(lp_jobs=2, **common)
+            )
+            assert fingerprint(parallel_result) == fingerprint(sequential), (
+                case.name,
+            )
+            checked += 1
+        assert checked >= 25  # most of the corpus must actually be comparable
+
+    def test_parallel_stats_reach_the_reduction_stats(self, corpus):
+        from repro import AnalysisPipeline
+
+        case = next(c for c in corpus if _analyzes(c))
+        options = AnalysisOptions(
+            moment_degree=case.moment_degree,
+            objective_valuations=(case.valuation,),
+            lp_jobs=2,
+        )
+        pipe = AnalysisPipeline(case.parse())
+        pipe.analyze(options)
+        stats = pipe.constraint_system(options).lp.reduction_stats()
+        if stats is None:
+            pytest.skip("reducer fell back to the direct backend")
+        par = stats.get("parallel")
+        assert par is not None
+        assert par["jobs"] == 2
+        assert par["tasks"] >= 1
+        assert sum(par["worker_blocks"].values()) == par["tasks"]
+
+
+def _analyzes(case) -> bool:
+    try:
+        analyze(
+            case.parse(),
+            AnalysisOptions(
+                moment_degree=case.moment_degree,
+                objective_valuations=(case.valuation,),
+            ),
+        )
+        return True
+    except Exception:
+        return False
