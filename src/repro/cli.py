@@ -9,8 +9,16 @@ optionally the Theorem 4.4 soundness report and a simulation cross-check.
 filtered by name prefix) through the sharded batch executor
 (:func:`repro.service.executor.run_batch`) and prints one summary row per
 program; failed programs are reported inline and make the exit code
-non-zero.  ``python -m repro serve`` starts the HTTP JSON API
-(:mod:`repro.service.server`).
+non-zero (``--quiet`` hides the success rows, never the failures).
+``--executor queue`` routes the workload through the durable job store
+instead of an in-process pool.  ``python -m repro serve`` starts the HTTP
+JSON API (:mod:`repro.service.server`); with ``--workers N`` it also runs
+the durable-queue worker fleet behind ``POST /jobs`` / ``GET /metrics``.
+
+``python -m repro jobs enqueue|status|drain`` scripts the same job store
+without HTTP: enqueue one analysis (``--dedupe`` for content-addressed
+idempotency), inspect queue counts or one job's full row, or drain the
+queue with an ephemeral worker fleet (:mod:`repro.service.jobs`).
 
 ``python -m repro fuzz`` runs the differential soundness harness
 (:mod:`repro.soundness.differential`): generated Appl programs are analyzed
@@ -162,9 +170,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of concurrent analyses (default: min(8, #programs))",
     )
     batch_cmd.add_argument(
-        "--executor", choices=("thread", "process"), default="thread",
+        "--executor", choices=("thread", "process", "queue"), default="thread",
         help="thread: overlap LP solves in one process; process: shard the "
-        "workload across CPU cores (workers share --cache-dir)",
+        "workload across CPU cores (workers share --cache-dir); queue: "
+        "enqueue durable jobs into a SQLite store drained by a worker "
+        "fleet (--db joins an existing store, else an ephemeral one)",
+    )
+    batch_cmd.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="queue executor: enqueue into this job store (a running "
+        "'repro serve --workers N --db PATH' fleet drains it); default is "
+        "an ephemeral store + fleet for just this batch",
+    )
+    batch_cmd.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="queue executor: give up waiting for the fleet after this long",
+    )
+    batch_cmd.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-program success rows; failures are still "
+        "printed per program and the exit code is still non-zero",
     )
     _add_backend_flag(batch_cmd)
     _add_cache_flag(batch_cmd)
@@ -238,7 +263,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="serve without the on-disk artifact cache (memory only)",
     )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="size of the durable-queue worker fleet (0 = synchronous "
+        "endpoints only, no /jobs)",
+    )
+    serve_cmd.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="SQLite job-store path (default <cache dir>/jobs.sqlite3; "
+        "giving --db without --workers enables the queue endpoints with "
+        "an external fleet, e.g. 'repro jobs drain')",
+    )
+    serve_cmd.add_argument(
+        "--visibility", type=float, default=60.0, metavar="SECONDS",
+        help="job lease length: a crashed worker's job is re-delivered "
+        "after this long without heartbeats (default 60)",
+    )
+    serve_cmd.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help="backpressure: reject new jobs with HTTP 429 once the queue "
+        "depth (queued + leased) reaches N (default unlimited)",
+    )
     _add_cache_flag(serve_cmd)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="inspect and drive the durable job queue"
+    )
+    jobs_sub = jobs_cmd.add_subparsers(dest="jobs_command", required=True)
+
+    enq = jobs_sub.add_parser(
+        "enqueue", help="add an analysis job to a job store"
+    )
+    enq.add_argument("file", help="Appl source file (- for stdin)")
+    enq.add_argument("--db", required=True, metavar="PATH", help="job store")
+    enq.add_argument("--moments", type=int, default=2)
+    enq.add_argument("--degree", type=int, default=1)
+    enq.add_argument(
+        "--at", type=_parse_valuation, default={},
+        help="evaluation valuation, e.g. --at d=10,x=0",
+    )
+    enq.add_argument("--priority", type=int, default=0)
+    enq.add_argument(
+        "--idempotency-key", default=None, metavar="KEY",
+        help="at most one job ever exists per key; a duplicate enqueue "
+        "returns the existing id",
+    )
+    enq.add_argument(
+        "--dedupe", action="store_true",
+        help="derive the idempotency key from the program + options content",
+    )
+    enq.add_argument("--max-attempts", type=int, default=3)
+    enq.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its summary "
+        "(exit 1 if it dead-letters)",
+    )
+    enq.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS")
+
+    status = jobs_sub.add_parser(
+        "status", help="queue counts, or one job's full status"
+    )
+    status.add_argument("id", nargs="?", type=int, default=None)
+    status.add_argument("--db", required=True, metavar="PATH")
+    status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    drain = jobs_sub.add_parser(
+        "drain", help="run an ephemeral worker fleet until the queue is empty"
+    )
+    drain.add_argument("--db", required=True, metavar="PATH")
+    drain.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="fleet size for the drain (default 2)",
+    )
+    drain.add_argument(
+        "--visibility", type=float, default=60.0, metavar="SECONDS",
+        help="lease length while draining",
+    )
+    drain.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up (exit 1) if the queue is not empty after this long",
+    )
+    _add_cache_flag(drain)
     return parser
 
 
@@ -443,32 +550,38 @@ def _run_batch(args, out) -> int:
 
     from repro.service.executor import run_batch
 
+    store = None
+    if args.executor == "queue" and args.db:
+        from repro.service.store import JobStore
+
+        store = JobStore(args.db)
     report = run_batch(
         workload,
         jobs=args.jobs,
         executor=args.executor,
         cache=_make_cache(args),
+        store=store,
+        timeout=getattr(args, "timeout", 600.0),
     )
 
     width = max(len(item.name) for item in report.items)
-    print(
-        f"{'program':<{width}} {'E[C] interval':>26} {'V[C] hi':>12} "
-        f"{'LP vars':>8} {'time (s)':>9}",
-        file=out,
-    )
+    quiet = getattr(args, "quiet", False)
+    if not quiet:
+        print(
+            f"{'program':<{width}} {'E[C] interval':>26} {'V[C] hi':>12} "
+            f"{'LP vars':>8} {'time (s)':>9}",
+            file=out,
+        )
     for item in report.items:
         if not item.ok:
+            # Structured per-program failures are *always* surfaced — even
+            # under --quiet a failing batch must say which program failed
+            # and why, and exit non-zero, exactly like a transport error.
             print(f"{item.name:<{width}} FAILED: {item.error}", file=out)
             continue
-        result = item.result
-        interval = result.raw_interval(1)
-        line = f"{item.name:<{width}} [{interval.lo:>11.4g}, {interval.hi:>11.4g}]"
-        if result.raw.degree >= 2:
-            line += f" {result.variance().hi:>12.4g}"
-        else:
-            line += f" {'-':>12}"
-        line += f" {result.lp_variables:>8} {result.solve_seconds:>9.3f}"
-        print(line, file=out)
+        if quiet:
+            continue
+        print(_batch_row(item, width), file=out)
     failed = report.failures
     print(
         f"{len(report.items)} programs in {report.elapsed:.2f}s "
@@ -478,6 +591,34 @@ def _run_batch(args, out) -> int:
         file=out,
     )
     return 1 if failed else 0
+
+
+def _batch_row(item, width: int) -> str:
+    """One success row of the batch table, whichever executor ran it.
+
+    Thread/process executors hand back the in-memory result object; the
+    queue executor hands back the worker's JSON document (the result never
+    leaves the store as an object) — both carry the same numbers.
+    """
+    if item.result is not None:
+        result = item.result
+        interval = result.raw_interval(1)
+        lo, hi = interval.lo, interval.hi
+        var_hi = result.variance().hi if result.raw.degree >= 2 else None
+        lp_vars = result.lp_variables
+        seconds = result.solve_seconds
+    else:
+        doc = (item.payload or {}).get("result", {})
+        evaluated = doc.get("evaluated", {})
+        lo, hi = evaluated.get("E[C^1]", [float("nan")] * 2)
+        var = evaluated.get("V[C]")
+        var_hi = var[1] if var else None
+        lp_vars = doc.get("lp_variables", 0)
+        seconds = item.seconds
+    line = f"{item.name:<{width}} [{lo:>11.4g}, {hi:>11.4g}]"
+    line += f" {var_hi:>12.4g}" if var_hi is not None else f" {'-':>12}"
+    line += f" {lp_vars:>8} {seconds:>9.3f}"
+    return line
 
 
 def _run_fuzz(args, out) -> int:
@@ -542,8 +683,128 @@ def _run_serve(args, out) -> int:
         port=args.port,
         cache=_make_cache(args, default_on=True),
         max_pipelines=args.max_pipelines,
+        db=args.db,
+        workers=args.workers,
+        visibility=args.visibility,
+        max_queued=args.max_queued,
         out=out,
     )
+
+
+def _run_jobs(args, out) -> int:
+    from repro.service.store import JobStore
+
+    if args.jobs_command == "enqueue":
+        from repro.service.jobs import enqueue_analysis, wait_for_jobs
+
+        if args.file == "-":
+            source = sys.stdin.read()
+        else:
+            with open(args.file) as handle:
+                source = handle.read()
+        options = {"moments": args.moments, "degree": args.degree}
+        if args.at:
+            options["at"] = args.at
+        store = JobStore(args.db)
+        job_id, deduped = enqueue_analysis(
+            store,
+            source,
+            options,
+            priority=args.priority,
+            idempotency_key=args.idempotency_key,
+            dedupe=args.dedupe,
+            max_attempts=args.max_attempts,
+        )
+        print(
+            f"job {job_id} {'deduped (already enqueued)' if deduped else 'enqueued'}"
+            f" (depth {store.depth()})",
+            file=out,
+        )
+        if not args.wait:
+            return 0
+        (job,) = wait_for_jobs(store, [job_id], timeout=args.timeout)
+        if job is not None and job.state == "done":
+            summary = (job.result or {}).get("summary")
+            if summary:
+                print(summary, file=out)
+            return 0
+        state = job.state if job is not None else "missing"
+        error = job.error if job is not None else None
+        print(f"job {job_id} {state}" + (f": {error}" if error else ""), file=out)
+        return 1
+
+    if args.jobs_command == "status":
+        import json as _json
+
+        store = JobStore(args.db)
+        if args.id is not None:
+            job = store.get(args.id)
+            if job is None:
+                print(f"no job {args.id}", file=out)
+                return 1
+            if args.json:
+                print(_json.dumps(job.to_dict(), sort_keys=True), file=out)
+            else:
+                doc = job.to_dict()
+                for key in (
+                    "id", "kind", "state", "priority", "attempts",
+                    "max_attempts", "retries", "run_seconds", "error",
+                ):
+                    print(f"{key}: {doc[key]}", file=out)
+            return 0
+        counts = store.counts()
+        totals = store.totals()
+        if args.json:
+            print(
+                _json.dumps(
+                    {"depth": store.depth(), "states": counts, **totals},
+                    sort_keys=True,
+                ),
+                file=out,
+            )
+        else:
+            states = ", ".join(f"{k} {v}" for k, v in counts.items())
+            print(
+                f"depth {store.depth()} ({states}); "
+                f"{totals['enqueued']} enqueued, {totals['retried']} retried",
+                file=out,
+            )
+        return 0
+
+    # drain: an ephemeral fleet empties the queue, then exits.
+    from repro.service.jobs import WorkerPool, drain_queue
+
+    store = JobStore(args.db, visibility=args.visibility)
+    recovered = store.recover_expired()
+    if recovered:
+        print(f"recovered {recovered} expired lease(s)", file=out)
+    depth = store.depth()
+    if depth == 0:
+        print("queue already empty", file=out)
+        return 0
+    cache = _make_cache(args)
+    cache_dir = (
+        str(cache.directory.parent)
+        if cache is not None and cache.directory is not None
+        else None
+    )
+    pool = WorkerPool(
+        args.db, args.workers, cache_dir,
+        visibility=args.visibility, poll=0.05, drain_and_exit=True,
+    ).start()
+    try:
+        drained = drain_queue(store, timeout=args.timeout)
+        pool.join(timeout=30.0)
+    finally:
+        pool.stop(graceful=True, timeout=10.0)
+    counts = store.counts()
+    print(
+        f"drained {depth} job(s) with {args.workers} worker(s): "
+        f"{counts['done']} done, {counts['dead']} dead, "
+        f"{counts['queued'] + counts['leased']} remaining",
+        file=out,
+    )
+    return 0 if drained else 1
 
 
 def run(argv: list[str] | None = None, out=sys.stdout) -> int:
@@ -554,6 +815,8 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
         return _run_fuzz(args, out)
     if args.command == "serve":
         return _run_serve(args, out)
+    if args.command == "jobs":
+        return _run_jobs(args, out)
     return _run_analyze(args, out)
 
 

@@ -11,19 +11,37 @@ explicit; this package makes them *durable* and *shared*:
 * :mod:`repro.service.executor` — the sharded batch executor: thread- or
   process-pool execution of a named workload with per-program error
   isolation, deterministic result ordering, and a shared disk cache.
+* :mod:`repro.service.store` — the durable job queue: a SQLite/WAL-backed
+  :class:`JobStore` with priorities, idempotent enqueue, leases with
+  visibility timeouts, bounded retries with exponential backoff, and a
+  dead-letter state.  Every transition is one transaction; an acked result
+  survives any crash.
+* :mod:`repro.service.jobs` — the worker fleet: :class:`WorkerPool`
+  processes drain the store through the analysis pipeline + shared
+  artifact cache, with per-job error isolation, lease heartbeats,
+  crash re-delivery, and graceful SIGTERM drain.
+* :mod:`repro.service.metrics` — ``GET /metrics``: queue depth, per-state
+  counts, retry counters, cache hit rate, and p50/p99 analysis latency in
+  JSON and Prometheus text formats.
 * :mod:`repro.service.server` — ``repro serve``: a stdlib-only HTTP JSON
-  API (``POST /analyze``, ``POST /batch``, ``GET /health``,
-  ``GET /cache/stats``) keeping warm pipelines per program hash.
+  API (``POST /analyze``, ``POST /jobs``, ``GET /jobs/{id}[/result]``,
+  ``POST /batch``, ``GET /metrics``, ``GET /health``, ``GET
+  /cache/stats``) keeping warm pipelines per program hash.
 """
 
 from repro.service.cache import ArtifactCache, CacheStats, default_cache_dir, program_key
 from repro.service.executor import BatchItem, BatchReport, run_batch
+from repro.service.jobs import WorkerPool
+from repro.service.store import Job, JobStore
 
 __all__ = [
     "ArtifactCache",
     "BatchItem",
     "BatchReport",
     "CacheStats",
+    "Job",
+    "JobStore",
+    "WorkerPool",
     "default_cache_dir",
     "program_key",
     "run_batch",

@@ -45,7 +45,7 @@ from repro.lang.ast import Program
 from repro.lang.printer import canonical_program
 from repro.service.cache import ArtifactCache
 
-EXECUTORS = ("thread", "process")
+EXECUTORS = ("thread", "process", "queue")
 
 
 @dataclass
@@ -60,6 +60,20 @@ class BatchItem:
     #: process workers travel as strings).
     exception: BaseException | None = None
     seconds: float = 0.0
+    #: Queue executor only: the durable job id and the worker's JSON result
+    #: document (``{"summary": ..., "result": <to_dict()>}``) — the
+    #: in-memory ``result`` object never crosses the store.
+    job_id: int | None = None
+    payload: dict | None = None
+
+    @property
+    def summary(self) -> str | None:
+        """The result's summary text, whichever executor produced it."""
+        if self.result is not None:
+            return self.result.summary()
+        if self.payload is not None:
+            return self.payload.get("summary")
+        return None
 
 
 @dataclass
@@ -107,8 +121,21 @@ def run_batch(
     jobs: int | None = None,
     executor: str = "thread",
     cache: ArtifactCache | None = None,
+    store=None,
+    timeout: float = 600.0,
 ) -> BatchReport:
-    """Analyze a named workload; see the module docstring for semantics."""
+    """Analyze a named workload; see the module docstring for semantics.
+
+    ``executor="queue"`` makes the batch a thin client of the durable
+    :class:`~repro.service.store.JobStore`: every program is enqueued as a
+    job and the call blocks until the queue finishes them.  With ``store``
+    given, an external fleet (a running ``repro serve --workers N``) does
+    the work; without one, an ephemeral drain-and-exit
+    :class:`~repro.service.jobs.WorkerPool` over a temporary database is
+    spun up just for this batch.  Either way the work survives worker
+    crashes (lease expiry re-delivers) and failed programs come back as
+    structured ``BatchItem`` errors, not exceptions.
+    """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     workload = _normalize(programs, options or AnalysisOptions())
@@ -117,6 +144,8 @@ def run_batch(
     start = time.perf_counter()
     if executor == "process":
         _run_processes(workload, max_workers, cache, report)
+    elif executor == "queue":
+        _run_queue(workload, max_workers, cache, report, store, timeout)
     else:
         _run_threads(workload, max_workers, cache, report)
     report.elapsed = time.perf_counter() - start
@@ -228,6 +257,76 @@ def _run_processes(workload, max_workers, cache, report) -> None:
                     seconds=seconds,
                 )
             )
+
+
+# -- queue mode --------------------------------------------------------------
+
+
+def _run_queue(workload, max_workers, cache, report, store, timeout) -> None:
+    """The batch as a thin client of the durable job store.
+
+    With an external ``store`` the jobs are drained by whatever fleet is
+    attached to it (e.g. a running ``repro serve --workers N``).  Without
+    one, an ephemeral store + drain-and-exit fleet lives exactly as long
+    as this batch.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.jobs import WorkerPool, options_to_dict, wait_for_jobs
+    from repro.service.store import JobStore
+
+    tmp = None
+    pool = None
+    owned = store is None
+    try:
+        if owned:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-batch-queue-")
+            store = JobStore(Path(tmp.name) / "jobs.sqlite3")
+        names, ids = [], []
+        for name, program, opts in workload:
+            payload = {
+                "program": canonical_program(program),
+                "options": options_to_dict(opts),
+            }
+            job_id, _ = store.enqueue(payload, kind="analyze")
+            names.append(name)
+            ids.append(job_id)
+        if owned:
+            cache_dir = None
+            if cache is not None and cache.directory is not None:
+                cache_dir = str(cache.directory.parent)
+            pool = WorkerPool(
+                store.path, max_workers, cache_dir,
+                poll=0.05, drain_and_exit=True,
+            ).start()
+        jobs = wait_for_jobs(store, ids, timeout=timeout)
+        for name, job_id, job in zip(names, ids, jobs):
+            if job is None or not job.terminal:
+                state = job.state if job is not None else "missing"
+                item = BatchItem(
+                    name=name, ok=False, job_id=job_id,
+                    error=f"timeout: job still {state} after {timeout:g}s",
+                )
+            elif job.state == "done" and isinstance(job.result, dict):
+                item = BatchItem(
+                    name=name, ok=True, job_id=job_id,
+                    payload=job.result, seconds=job.run_seconds or 0.0,
+                )
+            else:
+                item = BatchItem(
+                    name=name, ok=False, job_id=job_id,
+                    error=job.error or "dead-lettered",
+                    seconds=job.run_seconds or 0.0,
+                )
+            report.items.append(item)
+    finally:
+        if pool is not None:
+            pool.stop(graceful=True, timeout=10.0)
+        if owned and store is not None:
+            store.close()
+        if tmp is not None:
+            tmp.cleanup()
 
 
 __all__ = ["BatchItem", "BatchReport", "EXECUTORS", "run_batch"]

@@ -1,0 +1,240 @@
+"""Service observability: the ``GET /metrics`` snapshot, JSON + Prometheus.
+
+Everything here is *derived* state: queue gauges and latency percentiles
+come straight from the :class:`JobStore` (so they are durable — a restarted
+server reports the same p99 the crashed one would have), cache counters
+from the :class:`ArtifactCache`, and fleet/service gauges from the live
+process.  There is no separate metrics database to drift out of sync.
+
+Exposed fields (JSON shape; the Prometheus text format carries the same
+numbers under ``repro_*`` names — see ``render_prometheus``):
+
+``queue.depth``
+    queued + leased jobs: the backlog a new enqueue waits behind.
+``queue.states.{queued,leased,done,dead}``
+    per-state row counts.
+``queue.enqueued_total / retried_total / attempts_total``
+    lifetime counters (monotone until ``purge_terminal``).
+``latency.{count,mean_seconds,p50_seconds,p99_seconds,max_seconds}``
+    analysis run latency over the most recent ≤1024 finished jobs.
+``cache.{memory_hits,disk_hits,misses,writes,hit_rate}``
+    artifact-cache counters; ``hit_rate`` = hits / (hits + misses).
+``workers.{configured,alive,respawned}``
+    fleet size, live processes, crash respawns.
+``service.{uptime_seconds,requests_total,warm_pipelines}``
+    HTTP-process facts.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+
+def percentile(sample: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample (0 for empty)."""
+    if not sample:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(sample)
+    rank = max(math.ceil(q * len(ordered)), 1) - 1
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Snapshot assembler over the store / cache / fleet / HTTP service."""
+
+    def __init__(self, store=None, cache=None, pool=None, service=None) -> None:
+        self.store = store
+        self.cache = cache
+        self.pool = pool
+        self.service = service
+        self.started = time.time()
+
+    # -- JSON ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        out: dict = {
+            "queue": self._queue(),
+            "latency": self._latency(),
+            "cache": self._cache(),
+            "workers": self._workers(),
+            "service": self._service(),
+        }
+        return out
+
+    def _queue(self) -> dict:
+        if self.store is None:
+            return {"enabled": False, "depth": 0, "states": {}}
+        counts = self.store.counts()
+        totals = self.store.totals()
+        return {
+            "enabled": True,
+            "depth": counts["queued"] + counts["leased"],
+            "states": counts,
+            "enqueued_total": totals["enqueued"],
+            "retried_total": totals["retried"],
+            "attempts_total": totals["attempts"],
+        }
+
+    def _latency(self) -> dict:
+        sample = self.store.run_latencies() if self.store is not None else []
+        return {
+            "count": len(sample),
+            "mean_seconds": (sum(sample) / len(sample)) if sample else 0.0,
+            "p50_seconds": percentile(sample, 0.50),
+            "p99_seconds": percentile(sample, 0.99),
+            "max_seconds": max(sample) if sample else 0.0,
+            "sum_seconds": sum(sample),
+        }
+
+    def _cache(self) -> dict:
+        if self.cache is None:
+            return {"enabled": False, "hit_rate": 0.0}
+        stats = self.cache.stats.snapshot()
+        hits = stats["memory_hits"] + stats["disk_hits"]
+        asked = hits + stats["misses"]
+        return {
+            "enabled": True,
+            "memory_hits": stats["memory_hits"],
+            "disk_hits": stats["disk_hits"],
+            "misses": stats["misses"],
+            "writes": stats["writes"],
+            "hit_rate": (hits / asked) if asked else 0.0,
+        }
+
+    def _workers(self) -> dict:
+        if self.pool is None:
+            return {"configured": 0, "alive": 0, "respawned": 0}
+        return {
+            "configured": self.pool.workers,
+            "alive": self.pool.alive(),
+            "respawned": self.pool.respawned,
+        }
+
+    def _service(self) -> dict:
+        out = {"uptime_seconds": time.time() - self.started}
+        if self.service is not None:
+            out["requests_total"] = self.service.requests
+            out["warm_pipelines"] = len(self.service._pipelines)
+        return out
+
+    # -- Prometheus text format ----------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The snapshot as Prometheus text exposition (version 0.0.4)."""
+        snap = self.snapshot()
+        lines: list[str] = []
+
+        def metric(name: str, kind: str, help_: str, samples) -> None:
+            lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                label = (
+                    "{" + ",".join(f'{k}="{v}"' for k, v in labels.items()) + "}"
+                    if labels
+                    else ""
+                )
+                lines.append(f"{name}{label} {_num(value)}")
+
+        queue = snap["queue"]
+        metric(
+            "repro_queue_depth", "gauge",
+            "Jobs waiting or running (queued + leased).",
+            [({}, queue.get("depth", 0))],
+        )
+        metric(
+            "repro_jobs", "gauge", "Jobs by state.",
+            [({"state": s}, n) for s, n in sorted(queue.get("states", {}).items())],
+        )
+        metric(
+            "repro_jobs_enqueued_total", "counter", "Jobs ever enqueued.",
+            [({}, queue.get("enqueued_total", 0))],
+        )
+        metric(
+            "repro_jobs_retried_total", "counter",
+            "Retry deliveries (nack backoffs + expired-lease re-queues).",
+            [({}, queue.get("retried_total", 0))],
+        )
+        metric(
+            "repro_job_attempts_total", "counter", "Lease attempts ever made.",
+            [({}, queue.get("attempts_total", 0))],
+        )
+
+        lat = snap["latency"]
+        metric(
+            "repro_analysis_latency_seconds", "summary",
+            "Run latency of finished jobs (recent window).",
+            [
+                ({"quantile": "0.5"}, lat["p50_seconds"]),
+                ({"quantile": "0.99"}, lat["p99_seconds"]),
+            ],
+        )
+        lines.append(f"repro_analysis_latency_seconds_sum {_num(lat['sum_seconds'])}")
+        lines.append(f"repro_analysis_latency_seconds_count {lat['count']}")
+
+        cache = snap["cache"]
+        if cache.get("enabled"):
+            metric(
+                "repro_cache_hits_total", "counter", "Artifact-cache hits.",
+                [
+                    ({"layer": "memory"}, cache["memory_hits"]),
+                    ({"layer": "disk"}, cache["disk_hits"]),
+                ],
+            )
+            metric(
+                "repro_cache_misses_total", "counter", "Artifact-cache misses.",
+                [({}, cache["misses"])],
+            )
+        metric(
+            "repro_cache_hit_rate", "gauge",
+            "Artifact-cache hits / lookups (0 when disabled).",
+            [({}, cache.get("hit_rate", 0.0))],
+        )
+
+        workers = snap["workers"]
+        metric(
+            "repro_workers", "gauge", "Worker fleet by status.",
+            [
+                ({"status": "configured"}, workers["configured"]),
+                ({"status": "alive"}, workers["alive"]),
+            ],
+        )
+        metric(
+            "repro_workers_respawned_total", "counter",
+            "Workers respawned after a crash.",
+            [({}, workers["respawned"])],
+        )
+
+        service = snap["service"]
+        metric(
+            "repro_uptime_seconds", "gauge", "Seconds since service start.",
+            [({}, service["uptime_seconds"])],
+        )
+        if "requests_total" in service:
+            metric(
+                "repro_http_requests_total", "counter", "HTTP requests handled.",
+                [({}, service["requests_total"])],
+            )
+            metric(
+                "repro_warm_pipelines", "gauge", "Warm per-program pipelines.",
+                [({}, service["warm_pipelines"])],
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _num(value) -> str:
+    """Prometheus number formatting: integers stay integral."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+__all__ = ["ServiceMetrics", "percentile"]

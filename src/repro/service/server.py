@@ -1,122 +1,106 @@
-"""``repro serve``: a stdlib-only HTTP JSON API over the analysis service.
+"""``repro serve``: the HTTP face of the durable analysis service.
+
+Two serving modes share one process:
+
+* **Synchronous** (always on): ``POST /analyze`` runs the request inline on
+  a warm per-program pipeline and returns the bounds — unchanged from the
+  original demo server, still byte-identical to the CLI.
+* **Queued** (``--workers N`` / ``--db PATH``): requests become durable
+  jobs in a SQLite/WAL :class:`~repro.service.store.JobStore` drained by a
+  :class:`~repro.service.jobs.WorkerPool` of analysis processes.  A server
+  crash loses nothing: on restart, leased-but-unacked jobs are recovered
+  and the fleet resumes the queue.
 
 Endpoints:
 
-* ``POST /analyze`` — body ``{"program": "<appl source>", "options": {...}}``;
-  responds with the symbolic bounds, numeric intervals, and the exact
-  ``summary`` text the CLI prints for the same request.
-* ``POST /batch`` — body ``{"programs": {name: source, ...}, "options":
-  {...}, "jobs": N}``; runs the named workload through the batch executor
-  with per-program error isolation and returns one entry per program in
-  input order.
-* ``GET /health`` — liveness plus backend/capacity facts.
-* ``GET /cache/stats`` — artifact-cache hit/miss counters and sizes.
-
-The server keeps a bounded pool of *warm pipelines* keyed by program
-content hash: repeated requests for the same program (at any options) skip
-every stage that is already derived, and with a disk-backed
-:class:`~repro.service.cache.ArtifactCache` the warmth survives restarts.
-Request handling is threaded (:class:`ThreadingHTTPServer`); concurrent
-requests for the *same* program share one pipeline, whose solve sections
-are internally locked, so identical concurrent requests return identical
-bytes.
+* ``POST /analyze`` — inline analysis (see above).
+* ``POST /jobs`` — enqueue: body ``{"program": src, "options": {...},
+  "priority": 0, "idempotency_key": "...", "dedupe": false,
+  "max_attempts": 3}``; responds 202 with the job id (200 when an
+  idempotency key deduped to an existing job).  429 when the queue is at
+  the ``--max-queued`` backpressure limit.
+* ``GET /jobs/{id}`` — job status (state, attempts, retries, timings).
+* ``GET /jobs/{id}/result`` — 200 with the result document once done;
+  202 while pending/running; 200 with ``ok=false`` + error for
+  dead-lettered jobs; 404 for unknown ids.
+* ``POST /batch`` — with a fleet: every program is enqueued and the
+  handler waits for the queue to finish them (durable fan-out — the jobs
+  survive even if the client disconnects); without a fleet it falls back
+  to the in-process batch executor.  Response shape is identical either
+  way, plus a ``job_id`` per item in queued mode.
+* ``GET /metrics`` — queue depth, per-state counts, retry/dead counters,
+  cache hit rate, and p50/p99 analysis latency; JSON by default,
+  Prometheus text with ``?format=prometheus`` (or ``Accept:
+  text/plain``).  See :mod:`repro.service.metrics` for every field.
+* ``GET /health`` — liveness plus backend/fleet facts.
+* ``GET /cache/stats`` — artifact-cache counters.
 
 ``options`` accepts the CLI's vocabulary: ``moments``, ``degree``,
 ``degree_cap``, ``at`` (a ``{var: value}`` valuation), ``backend``,
 ``upper_only``, ``unit_cost``, ``lexicographic``, ``lp_bound``, ``check``.
-Numbers that are infinite survive the JSON encoder in Python's extended
-notation (``Infinity``), which ``json.loads`` round-trips.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import signal
 import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from threading import Lock
 
 from repro import __version__
-from repro.analysis.pipeline import AnalysisOptions, AnalysisPipeline
+from repro.analysis.pipeline import AnalysisPipeline
 from repro.lang.parser import ParseError, parse_program
 from repro.lp.backends import available_backends
 from repro.lp.backends.incremental import highs_available
 from repro.service.cache import ArtifactCache, program_key
 from repro.service.executor import run_batch
+from repro.service.jobs import (
+    RequestError,
+    WorkerPool,
+    enqueue_analysis,
+    job_idempotency_key,
+    options_from_dict,
+    wait_for_jobs,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import JobStore
 
-_OPTION_KEYS = {
-    "moments",
-    "degree",
-    "degree_cap",
-    "at",
-    "backend",
-    "upper_only",
-    "unit_cost",
-    "lexicographic",
-    "lp_bound",
-    "check",
-}
-
-
-class RequestError(ValueError):
-    """Client-side problem: malformed body, unknown option, bad program."""
-
-
-def options_from_dict(data: "dict | None") -> AnalysisOptions:
-    """Build :class:`AnalysisOptions` from a request's ``options`` object.
-
-    Mirrors the CLI flag mapping exactly (``at`` becomes a single objective
-    valuation), so a served analysis and ``repro analyze`` construct the
-    same cache key and return the same result.
-    """
-    data = data or {}
-    if not isinstance(data, dict):
-        raise RequestError("options must be an object")
-    unknown = set(data) - _OPTION_KEYS
-    if unknown:
-        raise RequestError(
-            f"unknown options {sorted(unknown)}; expected {sorted(_OPTION_KEYS)}"
-        )
-    try:
-        at = data.get("at") or None
-        if at is not None:
-            if not isinstance(at, dict):
-                raise RequestError("options.at must be a {variable: value} object")
-            at = {str(k): float(v) for k, v in at.items()}
-        return AnalysisOptions(
-            moment_degree=int(data.get("moments", 2)),
-            template_degree=int(data.get("degree", 1)),
-            degree_cap=(
-                int(data["degree_cap"]) if data.get("degree_cap") is not None else None
-            ),
-            objective_valuations=(at,) if at else None,
-            upper_only=bool(data.get("upper_only", False)),
-            unit_cost=bool(data.get("unit_cost", False)),
-            check_soundness=bool(data.get("check", False)),
-            lexicographic=bool(data.get("lexicographic", True)),
-            lp_bound=float(data.get("lp_bound", 1e12)),
-            backend=data.get("backend"),
-        )
-    except RequestError:
-        raise
-    except (TypeError, ValueError) as exc:
-        raise RequestError(f"bad options: {exc}") from exc
+_JOB_PATH = re.compile(r"^/jobs/(\d+)(/result)?$")
 
 
 class AnalysisService:
-    """Warm-pipeline pool + cache, shared by every request thread."""
+    """Warm-pipeline pool + cache + (optionally) the durable queue/fleet,
+    shared by every request thread."""
 
     def __init__(
-        self, cache: ArtifactCache | None = None, max_pipelines: int = 128
+        self,
+        cache: ArtifactCache | None = None,
+        max_pipelines: int = 128,
+        store: JobStore | None = None,
+        pool: WorkerPool | None = None,
+        max_queued: int | None = None,
+        batch_timeout: float = 600.0,
     ) -> None:
         self.cache = cache
         self.max_pipelines = max_pipelines
+        self.store = store
+        self.pool = pool
+        self.max_queued = max_queued
+        self.batch_timeout = batch_timeout
         self.started = time.time()
         self.requests = 0
+        self.metrics = ServiceMetrics(
+            store=store, cache=cache, pool=pool, service=self
+        )
         self._pipelines: "OrderedDict[str, tuple[AnalysisPipeline, Lock]]" = (
             OrderedDict()
         )
         self._lock = Lock()
+
+    # -- warm pipelines ------------------------------------------------------
 
     def pipeline_for(self, source: str) -> tuple[AnalysisPipeline, Lock, str, bool]:
         """(pipeline, its request lock, program hash, was it already warm).
@@ -144,7 +128,7 @@ class AnalysisService:
                 self._pipelines.popitem(last=False)
             return (*entry, key, False)
 
-    # -- request handlers ---------------------------------------------------
+    # -- synchronous analysis ------------------------------------------------
 
     def analyze_request(self, payload: dict) -> dict:
         source = payload.get("program")
@@ -163,10 +147,178 @@ class AnalysisService:
             "result": result.to_dict(),
         }, warm
 
+    # -- job queue -----------------------------------------------------------
+
+    def _require_store(self) -> JobStore:
+        if self.store is None:
+            raise RequestError(
+                "this server runs without a job store; restart with"
+                " --workers/--db to enable /jobs"
+            )
+        return self.store
+
+    def _check_backpressure(self, adding: int = 1) -> None:
+        if self.max_queued is None:
+            return
+        depth = self._require_store().depth()
+        if depth + adding > self.max_queued:
+            raise BackpressureError(
+                f"queue depth {depth} + {adding} would exceed the"
+                f" --max-queued limit of {self.max_queued}; retry later"
+            )
+
+    def enqueue_request(self, payload: dict) -> tuple[dict, bool]:
+        """``POST /jobs`` → (response, deduped)."""
+        store = self._require_store()
+        self._check_backpressure()
+        kind = payload.get("kind", "analyze")
+        try:
+            priority = int(payload.get("priority", 0))
+            max_attempts = int(payload.get("max_attempts", 3))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"bad priority/max_attempts: {exc}") from exc
+        key = payload.get("idempotency_key")
+        if key is not None and not isinstance(key, str):
+            raise RequestError("idempotency_key must be a string")
+        if kind == "analyze":
+            job_id, deduped = enqueue_analysis(
+                store,
+                payload.get("program"),
+                payload.get("options"),
+                priority=priority,
+                idempotency_key=key,
+                dedupe=bool(payload.get("dedupe", False)),
+                max_attempts=max_attempts,
+            )
+        elif kind in ("sleep", "fail"):
+            # Diagnostic kinds: deterministic load / failure injection for
+            # smoke tests and fleet drills.
+            body = {
+                k: v for k, v in payload.items()
+                if k in ("seconds", "message", "retryable")
+            }
+            if key is None and payload.get("dedupe"):
+                key = job_idempotency_key(kind, body)
+            job_id, deduped = store.enqueue(
+                body,
+                kind=kind,
+                priority=priority,
+                idempotency_key=key,
+                max_attempts=max_attempts,
+            )
+        else:
+            raise RequestError(f"unknown job kind {kind!r}")
+        job = store.get(job_id)
+        return {
+            "ok": True,
+            "id": job_id,
+            "state": job.state if job is not None else "queued",
+            "deduped": deduped,
+        }, deduped
+
+    def job_status(self, job_id: int) -> dict | None:
+        store = self._require_store()
+        job = store.get(job_id)
+        if job is None:
+            return None
+        return {"ok": True, **job.to_dict()}
+
+    def job_result(self, job_id: int) -> tuple[int, dict] | None:
+        """``GET /jobs/{id}/result`` → (http status, body) or None (404)."""
+        store = self._require_store()
+        job = store.get(job_id)
+        if job is None:
+            return None
+        if job.state == "done":
+            body = job.result if isinstance(job.result, dict) else {"value": job.result}
+            return 200, {**body, "id": job.id, "state": "done"}
+        if job.state == "dead":
+            return 200, {
+                "ok": False,
+                "id": job.id,
+                "state": "dead",
+                "error": job.error or "dead-lettered",
+                "attempts": job.attempts,
+            }
+        return 202, {
+            "ok": False,
+            "pending": True,
+            "id": job.id,
+            "state": job.state,
+            "attempts": job.attempts,
+        }
+
+    # -- batch ---------------------------------------------------------------
+
     def batch_request(self, payload: dict) -> dict:
         programs = payload.get("programs")
         if not isinstance(programs, dict) or not programs:
             raise RequestError('body must carry {"programs": {name: source, ...}}')
+        options = payload.get("options")
+        options_from_dict(options)  # validate once, up front
+        if self.store is not None and self.pool is not None:
+            return self._batch_via_queue(programs, payload)
+        return self._batch_inline(programs, payload)
+
+    def _batch_via_queue(self, programs: dict, payload: dict) -> dict:
+        """Durable fan-out: one job per program, drained by the fleet."""
+        store = self._require_store()
+        self._check_backpressure(adding=len(programs))
+        try:
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"bad priority: {exc}") from exc
+        try:
+            timeout = float(payload.get("timeout", self.batch_timeout))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"bad timeout: {exc}") from exc
+        names = list(programs)
+        ids = []
+        for name in names:
+            job_id, _ = enqueue_analysis(
+                store,
+                programs[name],
+                payload.get("options"),
+                priority=priority,
+                dedupe=bool(payload.get("dedupe", False)),
+            )
+            ids.append(job_id)
+        started = time.perf_counter()
+        jobs = wait_for_jobs(store, ids, timeout=timeout)
+        items = []
+        for name, job_id, job in zip(names, ids, jobs):
+            if job is None or not job.terminal:
+                items.append({
+                    "name": name,
+                    "ok": False,
+                    "job_id": job_id,
+                    "error": f"timeout: job still {job.state if job else 'missing'}"
+                    f" after {timeout:g}s",
+                })
+            elif job.state == "done" and isinstance(job.result, dict):
+                items.append({
+                    "name": name,
+                    "ok": True,
+                    "job_id": job_id,
+                    "summary": job.result.get("summary"),
+                })
+            else:
+                items.append({
+                    "name": name,
+                    "ok": False,
+                    "job_id": job_id,
+                    "error": job.error or "dead-lettered",
+                })
+        return {
+            "ok": all(item["ok"] for item in items),
+            "queued": True,
+            "jobs": self.pool.workers if self.pool is not None else 0,
+            "elapsed_seconds": time.perf_counter() - started,
+            "items": items,
+        }
+
+    def _batch_inline(self, programs: dict, payload: dict) -> dict:
+        """No fleet: the original in-process batch executor."""
         options = options_from_dict(payload.get("options"))
         jobs = payload.get("jobs")
         try:
@@ -182,6 +334,7 @@ class AnalysisService:
         report = run_batch(workload, options=options, jobs=jobs, cache=self.cache)
         return {
             "ok": report.ok,
+            "queued": False,
             "jobs": report.jobs,
             "elapsed_seconds": report.elapsed,
             "items": [
@@ -198,8 +351,10 @@ class AnalysisService:
             ],
         }
 
+    # -- introspection -------------------------------------------------------
+
     def health(self) -> dict:
-        return {
+        out = {
             "status": "ok",
             "version": __version__,
             "uptime_seconds": time.time() - self.started,
@@ -207,7 +362,16 @@ class AnalysisService:
             "backends": available_backends(),
             "highs": highs_available(),
             "warm_pipelines": len(self._pipelines),
+            "queue": self.store is not None,
         }
+        if self.store is not None:
+            out["queue_depth"] = self.store.depth()
+        if self.pool is not None:
+            out["workers"] = {
+                "configured": self.pool.workers,
+                "alive": self.pool.alive(),
+            }
+        return out
 
     def cache_stats(self) -> dict:
         stats = {"enabled": self.cache is not None}
@@ -215,6 +379,10 @@ class AnalysisService:
             stats.update(self.cache.describe())
         stats["warm_pipelines"] = len(self._pipelines)
         return stats
+
+
+class BackpressureError(RequestError):
+    """Queue at the --max-queued limit; mapped to HTTP 429."""
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):
@@ -240,8 +408,17 @@ class _Handler(BaseHTTPRequestHandler):
         self, code: int, payload: dict, extra_headers: "dict[str, str] | None" = None
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
+        self._send_bytes(code, body, "application/json", extra_headers)
+
+    def _send_bytes(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: "dict[str, str] | None" = None,
+    ) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
@@ -260,18 +437,62 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestError("request body must be a JSON object")
         return payload
 
+    # -- routing -------------------------------------------------------------
+
     def do_GET(self) -> None:
         self.service.requests += 1
-        if self.path == "/health":
-            self._send_json(200, self.service.health())
-        elif self.path == "/cache/stats":
-            self._send_json(200, self.service.cache_stats())
+        path, _, query = self.path.partition("?")
+        try:
+            if path == "/health":
+                self._send_json(200, self.service.health())
+            elif path == "/cache/stats":
+                self._send_json(200, self.service.cache_stats())
+            elif path == "/metrics":
+                self._send_metrics(query)
+            elif path.startswith("/jobs/"):
+                self._get_job(path)
+            else:
+                self._send_json(404, {"ok": False, "error": f"no route {path}"})
+        except BackpressureError as exc:
+            self._send_json(429, {"ok": False, "error": str(exc)})
+        except RequestError as exc:
+            self._send_json(400, {"ok": False, "error": str(exc)})
+
+    def _send_metrics(self, query: str) -> None:
+        accept = self.headers.get("Accept", "")
+        want_prom = "format=prom" in query or (
+            "text/plain" in accept and "application/json" not in accept
+        )
+        if want_prom:
+            text = self.service.metrics.render_prometheus()
+            self._send_bytes(
+                200, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+            )
         else:
-            self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
+            self._send_json(200, self.service.metrics.snapshot())
+
+    def _get_job(self, path: str) -> None:
+        match = _JOB_PATH.match(path)
+        if not match:
+            self._send_json(404, {"ok": False, "error": f"no route {path}"})
+            return
+        job_id = int(match.group(1))
+        if match.group(2):  # /jobs/{id}/result
+            answer = self.service.job_result(job_id)
+            if answer is None:
+                self._send_json(404, {"ok": False, "error": f"no job {job_id}"})
+            else:
+                self._send_json(answer[0], answer[1])
+        else:
+            status = self.service.job_status(job_id)
+            if status is None:
+                self._send_json(404, {"ok": False, "error": f"no job {job_id}"})
+            else:
+                self._send_json(200, status)
 
     def do_POST(self) -> None:
         self.service.requests += 1
-        if self.path not in ("/analyze", "/batch"):
+        if self.path not in ("/analyze", "/batch", "/jobs"):
             self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
             return
         try:
@@ -281,8 +502,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, answer, {"X-Repro-Warm": "true" if warm else "false"}
                 )
+            elif self.path == "/jobs":
+                answer, deduped = self.service.enqueue_request(payload)
+                self._send_json(200 if deduped else 202, answer)
             else:
                 self._send_json(200, self.service.batch_request(payload))
+        except BackpressureError as exc:
+            self._send_json(429, {"ok": False, "error": str(exc)})
         except RequestError as exc:
             self._send_json(400, {"ok": False, "error": str(exc)})
         except Exception as exc:  # analysis failures: the request was valid
@@ -296,9 +522,21 @@ def make_server(
     port: int = 8000,
     cache: ArtifactCache | None = None,
     max_pipelines: int = 128,
+    store: JobStore | None = None,
+    pool: WorkerPool | None = None,
+    max_queued: int | None = None,
+    batch_timeout: float = 600.0,
 ) -> AnalysisHTTPServer:
     """Build (but do not start) the server; port 0 picks a free port."""
-    return AnalysisHTTPServer((host, port), AnalysisService(cache, max_pipelines))
+    service = AnalysisService(
+        cache,
+        max_pipelines,
+        store=store,
+        pool=pool,
+        max_queued=max_queued,
+        batch_timeout=batch_timeout,
+    )
+    return AnalysisHTTPServer((host, port), service)
 
 
 def serve(
@@ -306,30 +544,93 @@ def serve(
     port: int = 8000,
     cache: ArtifactCache | None = None,
     max_pipelines: int = 128,
+    db: "str | None" = None,
+    workers: int = 0,
+    visibility: float = 60.0,
+    max_queued: int | None = None,
     out=None,
 ) -> int:
-    """Run the server until interrupted (the ``repro serve`` entry point)."""
-    server = make_server(host, port, cache, max_pipelines)
+    """Run the server until SIGINT/SIGTERM (the ``repro serve`` entry point).
+
+    With ``workers > 0`` (or an explicit ``db``) the durable queue is on:
+    expired leases from a previous crashed run are recovered before the
+    fleet starts, so queued work resumes exactly where it stopped.  On
+    SIGTERM the fleet drains gracefully (in-flight jobs are finished and
+    acked) before the process exits.
+    """
+    store = pool = None
+    if workers > 0 or db is not None:
+        if db is None:
+            from repro.service.cache import default_cache_dir
+
+            db = str(default_cache_dir() / "jobs.sqlite3")
+        store = JobStore(db, visibility=visibility)
+        resumed = store.recover_expired()
+        if out is not None and resumed:
+            print(f"recovered {resumed} expired lease(s) from a previous run", file=out)
+        if workers > 0:
+            cache_dir = (
+                str(cache.directory.parent)
+                if cache is not None and cache.directory is not None
+                else None
+            )
+            pool = WorkerPool(
+                db, workers, cache_dir, visibility=visibility
+            ).start()
+    server = make_server(
+        host, port, cache, max_pipelines, store=store, pool=pool,
+        max_queued=max_queued,
+    )
     bound = server.server_address
     if out is not None:
-        where = cache.directory if cache is not None and cache.directory else "memory-only"
+        where = (
+            cache.directory if cache is not None and cache.directory else "memory-only"
+        )
+        fleet = f", {workers} workers on {db}" if pool is not None else (
+            f", queue on {db}" if store is not None else ""
+        )
         print(
             f"repro serve listening on http://{bound[0]}:{bound[1]} "
-            f"(cache: {where})",
+            f"(cache: {where}{fleet})",
             file=out,
+            flush=True,
         )
+
+    stop = {"signal": None}
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        stop["signal"] = signum
+        # shutdown() must not run on the serve_forever thread; we're in a
+        # signal handler on the main thread, which *is* that thread, so
+        # defer to a helper thread.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_signal)
+    except ValueError:
+        pass  # not the main thread (tests drive serve() directly)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        if pool is not None:
+            # Graceful drain: each worker finishes + acks its job first.
+            pool.stop(graceful=True)
+        if store is not None:
+            store.close()
+        if out is not None:
+            print("repro serve: shut down cleanly", file=out, flush=True)
     return 0
 
 
 __all__ = [
     "AnalysisHTTPServer",
     "AnalysisService",
+    "BackpressureError",
     "RequestError",
     "make_server",
     "options_from_dict",

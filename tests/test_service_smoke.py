@@ -1,0 +1,305 @@
+"""End-to-end service smoke: a real ``repro serve`` process under fire.
+
+Two tiers:
+
+* ``TestInProcessSmoke`` runs in tier-1: a small mixed workload through a
+  real HTTP server + worker fleet inside this process, fast enough for the
+  default test run.
+* ``TestServiceSmoke`` (``@pytest.mark.smoke``, gated behind
+  ``REPRO_SERVICE_SMOKE=1``) is the CI ``service-smoke`` drill: boot
+  ``python -m repro serve`` as a subprocess on a temp DB, enqueue a
+  200-job mix over HTTP, SIGKILL a worker mid-job and assert the lease is
+  retried, SIGTERM the server mid-queue and restart it asserting queued
+  jobs resume, and scrape ``/metrics`` asserting depth and latency keys.
+  Zero jobs may be lost.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import WorkerPool
+from repro.service.server import make_server
+from repro.service.store import JobStore
+
+SIMPLE = """
+func main() pre(d > 0) begin
+  x := 0;
+  while x < d inv(x < d + 1) do
+    tick(1);
+    x := x + 1
+  od
+end
+"""
+
+SMOKE = os.environ.get("REPRO_SERVICE_SMOKE") == "1"
+
+
+def _post(port, path, body, timeout=30.0):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=json.dumps(body).encode()
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(port, path, timeout=30.0):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=timeout
+    ) as response:
+        return response.status, response.read()
+
+
+# ---------------------------------------------------------------------------
+# Tier-1: in-process smoke
+# ---------------------------------------------------------------------------
+
+
+class TestInProcessSmoke:
+    def test_mixed_workload_end_to_end(self, tmp_path):
+        db = tmp_path / "jobs.sqlite3"
+        store = JobStore(db, visibility=5.0, retry_base=0.02, retry_cap=0.1)
+        pool = WorkerPool(
+            db, 2, str(tmp_path / "cache"), visibility=5.0, poll=0.05
+        ).start()
+        server = make_server(
+            port=0, cache=ArtifactCache(tmp_path / "cache"), store=store,
+            pool=pool,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+        try:
+            ids = []
+            for i in range(12):
+                if i % 6 == 0:
+                    body = {
+                        "program": SIMPLE,
+                        "options": {"moments": 1, "at": {"d": 4.0}},
+                        "dedupe": True,
+                    }
+                elif i % 6 == 1:
+                    body = {"kind": "fail", "message": "boom",
+                            "retryable": False}
+                else:
+                    body = {"kind": "sleep", "seconds": 0.01}
+                ids.append(_post(port, "/jobs", body)["id"])
+
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                if all(
+                    job is not None and job.terminal
+                    for job in store.iter_jobs(set(ids))
+                ):
+                    break
+                time.sleep(0.05)
+            jobs = {job.id: job for job in store.iter_jobs(set(ids))}
+            # Zero lost jobs: every id answers, every job is terminal.
+            assert all(jobs[i].terminal for i in ids)
+            assert {jobs[i].state for i in ids} == {"done", "dead"}
+            assert all(jobs[i].state == "dead" for i in ids[1::6])
+            # The two analyze enqueues deduped onto one job.
+            assert ids[0] == ids[6]
+
+            _, raw = _get(port, "/metrics")
+            snap = json.loads(raw)
+            assert snap["queue"]["depth"] == 0
+            assert snap["latency"]["count"] >= 1
+            assert snap["latency"]["p99_seconds"] >= snap["latency"]["p50_seconds"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            pool.stop(graceful=True, timeout=20.0)
+
+
+# ---------------------------------------------------------------------------
+# CI drill: subprocess smoke (REPRO_SERVICE_SMOKE=1)
+# ---------------------------------------------------------------------------
+
+
+_BOOTS = iter(range(1, 1000))
+
+
+def _boot_serve(db, cache_dir, workers=4, visibility=2.0):
+    """Start ``repro serve`` on an ephemeral port, return (proc, port).
+
+    With ``REPRO_SERVICE_LOG_DIR`` set (the CI smoke leg does), all server
+    output is mirrored to ``serve-<n>.log`` there so failures upload the
+    full transcript as an artifact.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    log_dir = os.environ.get("REPRO_SERVICE_LOG_DIR")
+    log = None
+    if log_dir:
+        Path(log_dir).mkdir(parents=True, exist_ok=True)
+        log = open(
+            Path(log_dir) / f"serve-{next(_BOOTS)}.log", "w", buffering=1
+        )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--db", str(db),
+            "--workers", str(workers),
+            "--visibility", str(visibility),
+            "--cache-dir", str(cache_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = None
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if log is not None:
+            log.write(line)
+        if "listening on http://" in line:
+            port = int(line.split("listening on http://")[1]
+                       .split()[0].rsplit(":", 1)[1])
+            break
+    if port is None:
+        proc.kill()
+        raise RuntimeError("repro serve did not announce a port")
+
+    # Drain remaining output in the background so the pipe never fills.
+    sink = []
+
+    def _drain():
+        for line in proc.stdout:
+            sink.append(line)
+            if log is not None:
+                log.write(line)
+        if log is not None:
+            log.close()
+
+    threading.Thread(target=_drain, daemon=True).start()
+    return proc, port, sink
+
+
+def _worker_pids(server_pid):
+    """Direct children of the serve process (the worker fleet)."""
+    out = subprocess.run(
+        ["ps", "-o", "pid=", "--ppid", str(server_pid)],
+        capture_output=True, text=True,
+    ).stdout
+    return [int(token) for token in out.split()]
+
+
+@pytest.mark.smoke
+@pytest.mark.skipif(not SMOKE, reason="set REPRO_SERVICE_SMOKE=1 to run")
+class TestServiceSmoke:
+    def test_two_hundred_job_drill(self, tmp_path):
+        db = tmp_path / "jobs.sqlite3"
+        cache_dir = tmp_path / "cache"
+        proc, port, _sink = _boot_serve(db, cache_dir)
+        ids, analyze_ids, fail_ids = [], [], []
+        try:
+            # 1. Enqueue a 200-job mix over HTTP: mostly short sleeps with
+            #    real analyses and bounded-retry failures sprinkled in.
+            for i in range(200):
+                if i % 40 == 0:
+                    body = {
+                        "program": SIMPLE,
+                        "options": {"moments": 1, "at": {"d": 4.0 + i}},
+                    }
+                elif i % 40 == 1:
+                    body = {"kind": "fail", "message": "flaky",
+                            "retryable": True, "max_attempts": 2}
+                else:
+                    body = {"kind": "sleep", "seconds": 0.02}
+                response = _post(port, "/jobs", body)
+                assert response["ok"]
+                ids.append(response["id"])
+                if i % 40 == 0:
+                    analyze_ids.append(response["id"])
+                elif i % 40 == 1:
+                    fail_ids.append(response["id"])
+            assert len(ids) == len(set(ids)) == 200
+
+            # 2. SIGKILL one worker mid-drill: its lease must be retried,
+            #    not lost, and the pool must respawn a replacement.
+            time.sleep(0.5)
+            victims = _worker_pids(proc.pid)
+            assert victims, "no worker processes found under repro serve"
+            os.kill(victims[0], signal.SIGKILL)
+
+            # 3. SIGTERM the server mid-queue: graceful drain of in-flight
+            #    jobs, everything else stays queued in the DB.
+            time.sleep(1.0)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120.0) == 0
+        except BaseException:
+            proc.kill()
+            raise
+
+        store = JobStore(db)
+        remaining = sum(
+            1 for job in store.iter_jobs(ids)
+            if job is not None and not job.terminal
+        )
+        assert remaining > 0, "drill finished before the restart could matter"
+        store.close()
+
+        # 4. Restart: queued jobs must resume without re-enqueueing.
+        proc, port, _sink = _boot_serve(db, cache_dir)
+        try:
+            deadline = time.time() + 420.0
+            store = JobStore(db)
+            while time.time() < deadline:
+                jobs = list(store.iter_jobs(ids))
+                if all(job is not None and job.terminal for job in jobs):
+                    break
+                time.sleep(0.25)
+            jobs = {job.id: job for job in store.iter_jobs(ids) if job}
+
+            # 5. Zero lost jobs: all 200 accounted for and terminal.
+            assert len(jobs) == 200
+            assert all(job.terminal for job in jobs.values())
+            for job_id in analyze_ids:
+                assert jobs[job_id].state == "done"
+                assert "E[C^1]" in jobs[job_id].result["summary"]
+            for job_id in fail_ids:
+                assert jobs[job_id].state == "dead"
+                assert jobs[job_id].attempts == 2
+            # The SIGKILLed worker's lease was re-delivered: at least one
+            # non-"fail" job ran more than once.
+            assert any(
+                jobs[i].retries >= 1 for i in ids
+                if i not in fail_ids
+            ), "no lease retry observed after SIGKILL"
+
+            # 6. Scrape /metrics: depth gauge and latency quantiles.
+            _, raw = _get(port, "/metrics")
+            snap = json.loads(raw)
+            assert snap["queue"]["depth"] == 0
+            assert snap["queue"]["states"].get("done", 0) >= 195
+            assert snap["latency"]["count"] >= 1
+            for key in ("p50_seconds", "p99_seconds", "mean_seconds"):
+                assert key in snap["latency"]
+            _, raw = _get(port, "/metrics?format=prometheus")
+            text = raw.decode()
+            assert "repro_queue_depth 0" in text
+            assert 'repro_analysis_latency_seconds{quantile="0.99"}' in text
+            store.close()
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120.0) == 0
+        except BaseException:
+            proc.kill()
+            raise
