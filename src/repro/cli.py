@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro import (
     AnalysisOptions,
@@ -193,6 +194,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(batch_cmd)
     _add_cache_flag(batch_cmd)
+
+    check_cmd = sub.add_parser(
+        "check",
+        help="check tail-assertion specs against analyzer moment bounds",
+        description="Parse a .spec file of assertions over the cost "
+        "accumulator (moment intervals, tail probabilities, stddev, the "
+        "timing-attack success rate), analyze the target program(s), and "
+        "report a pass/fail/inconclusive verdict per assertion with the "
+        "evidence (which inequality fired, at what moment order).",
+    )
+    check_cmd.add_argument(
+        "target", nargs="?", default=None,
+        help="Appl source file, '-' for stdin, or a registry program name "
+        "(omitted in --suite mode)",
+    )
+    check_cmd.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="spec file to check the target against",
+    )
+    check_cmd.add_argument(
+        "--suite", default=None, metavar="DIR",
+        help="suite mode: check every *.spec under DIR against the "
+        "registry programs its @programs directive names",
+    )
+    check_cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a byte-stable machine-readable JSON report",
+    )
+    check_cmd.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on inconclusive verdicts too, not just failures",
+    )
+    check_cmd.add_argument(
+        "--at", type=_parse_valuation, default=None,
+        help="initial valuation override, e.g. --at d=10,x=0",
+    )
+    check_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="suite mode: number of concurrent analyses",
+    )
+    check_cmd.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="suite mode: batch executor (default thread)",
+    )
+    check_cmd.add_argument(
+        "--verbose", action="store_true",
+        help="suite mode: show per-assertion evidence for passing programs too",
+    )
+    _add_cache_flag(check_cmd)
 
     fuzz_cmd = sub.add_parser(
         "fuzz",
@@ -621,6 +671,92 @@ def _batch_row(item, width: int) -> str:
     return line
 
 
+def _run_check(args, out) -> int:
+    from repro.policy.evaluate import FAIL, INCONCLUSIVE, evaluate_spec
+    from repro.policy.parser import parse_spec
+    from repro.policy.report import (
+        check_to_dict,
+        render_check,
+        render_suite,
+        suite_to_dict,
+        to_json,
+    )
+    from repro.policy.suite import load_suite, options_for, run_suite
+    from repro.tail.bounds import costs_nonnegative
+
+    if args.suite is not None:
+        if args.target is not None or args.spec is not None:
+            print("--suite does not take a target or --spec", file=out)
+            return 2
+        suite = load_suite(args.suite)
+        result = run_suite(
+            suite,
+            jobs=args.jobs,
+            executor=args.executor,
+            cache=_make_cache(args, default_on=True),
+        )
+        if args.as_json:
+            print(to_json(suite_to_dict(result.runs)), file=out, end="")
+        else:
+            print(render_suite(result.runs, verbose=args.verbose), file=out)
+        if result.failed:
+            return 1
+        if args.strict and result.inconclusive:
+            return 1
+        return 0
+
+    if args.spec is None or args.target is None:
+        print("check needs a target and --spec (or --suite DIR)", file=out)
+        return 2
+    with open(args.spec) as handle:
+        spec = parse_spec(handle.read(), path=args.spec)
+
+    from repro.programs.registry import all_benchmarks
+
+    bench = all_benchmarks().get(args.target)
+    if bench is not None:
+        program = bench.parse()
+        options = options_for(spec, bench)
+        name = args.target
+    else:
+        if args.target == "-":
+            source = sys.stdin.read()
+        else:
+            with open(args.target) as handle:
+                source = handle.read()
+        program = parse_program(source)
+        options = AnalysisOptions(
+            moment_degree=spec.min_moment_degree(),
+            template_degree=spec.options.get("degree", 1),
+            degree_cap=spec.options.get("cap"),
+            objective_valuations=(
+                (dict(spec.valuation),) if spec.valuation else None
+            ),
+        )
+        name = "<stdin>" if args.target == "-" else args.target
+    if args.at is not None:
+        options = replace(options, objective_valuations=(dict(args.at),))
+
+    pipeline = AnalysisPipeline(program, artifacts=_make_cache(args))
+    result = pipeline.analyze(options)
+    check = evaluate_spec(
+        spec,
+        result,
+        program=name,
+        valuation=args.at,
+        nonnegative_cost=costs_nonnegative(program),
+    )
+    if args.as_json:
+        print(to_json(check_to_dict(check)), file=out, end="")
+    else:
+        print(render_check(check), file=out)
+    if check.verdict == FAIL:
+        return 1
+    if args.strict and check.verdict == INCONCLUSIVE:
+        return 1
+    return 0
+
+
 def _run_fuzz(args, out) -> int:
     import time
 
@@ -811,6 +947,8 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "batch":
         return _run_batch(args, out)
+    if args.command == "check":
+        return _run_check(args, out)
     if args.command == "fuzz":
         return _run_fuzz(args, out)
     if args.command == "serve":

@@ -1,0 +1,172 @@
+"""Typed condition AST for the tail-assertion policy language.
+
+A *spec* is a list of assertions plus optional directives.  Each assertion
+compares a **quantity** — something the analyzer can bracket or bound —
+against a scalar or an interval:
+
+* :class:`RawMoment` — ``E[cost^k]`` (``mean(cost)`` is order 1),
+* :class:`CentralMoment` — ``E[(cost - E[cost])^k]`` (``variance(cost)``
+  is order 2),
+* :class:`Stddev` — ``stddev(cost)``, compared on the variance scale,
+* :class:`TailProbability` — ``P(cost >= t)`` / ``P(cost <= t)``, bounded
+  through the concentration inequalities of :mod:`repro.tail.bounds`,
+* :class:`AttackSuccess` — the Appendix-I timing-attack success-rate lower
+  bound from :mod:`repro.tail.attack`.
+
+Every quantity evaluates to an *interval* known to contain the true value
+(tail probabilities to ``[0, upper-bound]``, attack success to
+``[lower-bound, 1]``), so a single interval-vs-condition rule yields the
+three-way verdict for all assertion forms — see
+:mod:`repro.policy.evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RawMoment:
+    """``E[cost^k]``; order 1 is the plain expected cost."""
+
+    order: int
+
+    def describe(self) -> str:
+        return "E[cost]" if self.order == 1 else f"E[cost^{self.order}]"
+
+
+@dataclass(frozen=True)
+class CentralMoment:
+    """``E[(cost - E[cost])^k]``; order 2 is the variance."""
+
+    order: int
+
+    def describe(self) -> str:
+        if self.order == 2:
+            return "variance(cost)"
+        return f"E[(cost - E[cost])^{self.order}]"
+
+
+@dataclass(frozen=True)
+class Stddev:
+    """``stddev(cost)`` — checked on the variance scale by squaring."""
+
+    def describe(self) -> str:
+        return "stddev(cost)"
+
+
+@dataclass(frozen=True)
+class TailProbability:
+    """``P(cost >= t)`` (direction ``">="``) or ``P(cost <= t)`` (``"<="``).
+
+    Strict inner comparisons normalize to the closed form —
+    ``P[X > t] <= P[X >= t]``, so the certified upper bound still holds.
+    """
+
+    direction: str  # ">=" (upper tail) or "<=" (lower tail)
+    threshold: float
+
+    def describe(self) -> str:
+        return f"P(cost {self.direction} {_fmt(self.threshold)})"
+
+
+@dataclass(frozen=True)
+class AttackSuccess:
+    """Timing-attack success-rate lower bound (Appendix I, Fig. 16)."""
+
+    bits: int = 32
+    trials: int = 10_000
+    skip: int = 0
+
+    def describe(self) -> str:
+        parts = [f"bits={self.bits}", f"trials={self.trials}"]
+        if self.skip:
+            parts.append(f"skip={self.skip}")
+        return f"attack_success({', '.join(parts)})"
+
+
+Quantity = "RawMoment | CentralMoment | Stddev | TailProbability | AttackSuccess"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``quantity <op> bound`` with ``op`` one of ``<= < >= >``."""
+
+    quantity: object
+    op: str
+    bound: float
+
+    def describe(self) -> str:
+        return f"{self.quantity.describe()} {self.op} {_fmt(self.bound)}"
+
+
+@dataclass(frozen=True)
+class Membership:
+    """``quantity in [lo, hi]``."""
+
+    quantity: object
+    lo: float
+    hi: float
+
+    def describe(self) -> str:
+        return f"{self.quantity.describe()} in [{_fmt(self.lo)}, {_fmt(self.hi)}]"
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """One spec line: the parsed condition plus its source location."""
+
+    condition: "Comparison | Membership"
+    text: str
+    line: int
+
+    def describe(self) -> str:
+        return self.condition.describe()
+
+
+@dataclass
+class Spec:
+    """A parsed spec file.
+
+    ``programs`` are registry names or ``fnmatch`` globs from the
+    ``@programs`` directive (empty when the program comes from elsewhere,
+    e.g. a CLI path argument).  ``options`` are analyzer knob overrides
+    from ``@options`` (``moments``, ``degree``, ``cap``), ``valuation`` is
+    the ``@at`` initial-valuation override.
+    """
+
+    name: str = ""
+    programs: tuple[str, ...] = ()
+    options: dict[str, int] = field(default_factory=dict)
+    valuation: dict[str, float] | None = None
+    assertions: list[Assertion] = field(default_factory=list)
+    path: str | None = None
+
+    def min_moment_degree(self) -> int:
+        """The analyzer ``moment_degree`` the spec calls for.
+
+        An explicit ``@options moments=k`` pins the degree exactly
+        (assertions the pinned analysis cannot decide come back
+        ``inconclusive`` with a re-run hint).  Otherwise it is the smallest
+        degree that can decide every assertion: the highest moment order
+        mentioned, with tail and stddev assertions wanting at least a
+        variance (attack_success uses the closed-form paper bounds and
+        needs none).
+        """
+        if "moments" in self.options:
+            return self.options["moments"]
+        need = 1
+        for assertion in self.assertions:
+            q = assertion.condition.quantity
+            if isinstance(q, (RawMoment, CentralMoment)):
+                need = max(need, q.order)
+            elif isinstance(q, (Stddev, TailProbability)):
+                need = max(need, 2)
+        return need
+
+
+def _fmt(x: float) -> str:
+    """Render a number the way the grammar accepts it back."""
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return repr(x)

@@ -1,0 +1,337 @@
+"""Evaluate parsed spec assertions against analyzer results.
+
+Every quantity reduces to an **interval certified to contain the true
+value**:
+
+* raw/central moments — the analyzer's interval bounds at the initial
+  valuation (central even moments meet with ``[0, inf)``, since the true
+  value is nonnegative);
+* tail probabilities — ``[0, u]`` where ``u`` is the best applicable
+  concentration bound (``[0, 1]`` when no inequality applies);
+* attack success — ``[l, 1]`` where ``l`` is the certified success-rate
+  lower bound.
+
+One interval-vs-condition rule then yields the three-way verdict for every
+assertion form:
+
+* ``pass`` — every value in the interval satisfies the condition,
+* ``fail`` — no value in the interval satisfies it,
+* ``inconclusive`` — the interval straddles the condition (too wide, or no
+  sound bound applies).
+
+This makes the expected one-sidedness fall out for free: a tail assertion
+``P(cost >= t) <= p`` passes when the certified upper bound is at most
+``p`` and can never pass vacuously, and ``P(cost >= t) >= p`` can only
+*fail* (when the upper bound refutes it) — an upper bound cannot certify a
+lower one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.results import MomentBoundResult
+from repro.policy.ast import (
+    Assertion,
+    AttackSuccess,
+    CentralMoment,
+    Comparison,
+    Membership,
+    RawMoment,
+    Spec,
+    Stddev,
+    TailProbability,
+)
+from repro.rings.interval import Interval
+from repro.tail.bounds import best_lower_tail, best_upper_tail
+
+PASS = "pass"
+FAIL = "fail"
+INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class AssertionOutcome:
+    """Verdict plus evidence for one assertion."""
+
+    assertion: Assertion
+    verdict: str
+    evidence: dict = field(default_factory=dict)
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        payload = {
+            "assertion": self.assertion.describe(),
+            "line": self.assertion.line,
+            "verdict": self.verdict,
+            "evidence": self.evidence,
+        }
+        if self.reason:
+            payload["reason"] = self.reason
+        return payload
+
+
+@dataclass
+class ProgramCheck:
+    """All assertion outcomes of one spec against one program."""
+
+    program: str
+    spec: str
+    outcomes: list[AssertionOutcome] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def verdict(self) -> str:
+        if self.error is not None:
+            return FAIL
+        if any(o.verdict == FAIL for o in self.outcomes):
+            return FAIL
+        if any(o.verdict == INCONCLUSIVE for o in self.outcomes):
+            return INCONCLUSIVE
+        return PASS
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts = {PASS: 0, FAIL: 0, INCONCLUSIVE: 0}
+        for outcome in self.outcomes:
+            counts[outcome.verdict] += 1
+        return counts
+
+
+# -- interval-vs-condition verdicts ------------------------------------------
+
+
+def _compare(interval: Interval, op: str, bound: float) -> str:
+    """Three-way verdict of ``value <op> bound`` over all values in the
+    interval."""
+    lo, hi = interval.lo, interval.hi
+    if op == "<=":
+        return PASS if hi <= bound else FAIL if lo > bound else INCONCLUSIVE
+    if op == "<":
+        return PASS if hi < bound else FAIL if lo >= bound else INCONCLUSIVE
+    if op == ">=":
+        return PASS if lo >= bound else FAIL if hi < bound else INCONCLUSIVE
+    if op == ">":
+        return PASS if lo > bound else FAIL if hi <= bound else INCONCLUSIVE
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _member(interval: Interval, lo: float, hi: float) -> str:
+    if lo <= interval.lo and interval.hi <= hi:
+        return PASS
+    if interval.hi < lo or interval.lo > hi:
+        return FAIL
+    return INCONCLUSIVE
+
+
+def _verdict(interval: Interval, condition) -> str:
+    if isinstance(condition, Membership):
+        return _member(interval, condition.lo, condition.hi)
+    return _compare(interval, condition.op, condition.bound)
+
+
+def _round(x: float) -> float:
+    """Stabilize report floats: drop sub-1e-12 representation noise."""
+    if not math.isfinite(x):
+        return x
+    return float(f"{x:.12g}")
+
+
+def _interval_json(interval: Interval) -> list[float]:
+    return [_round(interval.lo), _round(interval.hi)]
+
+
+# -- per-quantity evaluation -------------------------------------------------
+
+
+class _Evaluator:
+    def __init__(
+        self,
+        result: MomentBoundResult,
+        valuation: dict[str, float] | None,
+        nonnegative_cost: bool,
+    ):
+        self.result = result
+        self.valuation = valuation
+        self.nonnegative_cost = nonnegative_cost
+        self.degree = result.raw.degree
+
+    def _needs_degree(self, order: int) -> "tuple[Interval, dict, str] | None":
+        if order > self.degree:
+            return (
+                Interval(-math.inf, math.inf),
+                {"kind": "unavailable", "required_degree": order},
+                f"needs moment degree {order}, analysis bounded degree "
+                f"{self.degree} (re-run with moments={order})",
+            )
+        return None
+
+    def raw_moment(self, q: RawMoment):
+        missing = self._needs_degree(q.order)
+        if missing:
+            return missing
+        interval = self.result.raw_interval(q.order, self.valuation)
+        return interval, {"kind": "raw_moment", "order": q.order,
+                          "interval": _interval_json(interval)}, ""
+
+    def central_moment(self, q: CentralMoment):
+        missing = self._needs_degree(q.order)
+        if missing:
+            return missing
+        interval = self.result.central_interval(q.order, self.valuation)
+        if q.order % 2 == 0:
+            # Even central moments are nonnegative; tighten the bracket.
+            interval = Interval(max(interval.lo, 0.0), max(interval.hi, 0.0))
+        return interval, {"kind": "central_moment", "order": q.order,
+                          "interval": _interval_json(interval)}, ""
+
+    def variance_interval(self) -> "Interval | None":
+        if self.degree < 2:
+            return None
+        interval = self.result.variance(self.valuation)
+        return Interval(max(interval.lo, 0.0), max(interval.hi, 0.0))
+
+    def tail(self, q: TailProbability):
+        raws = self.result.raw_intervals(self.valuation)
+        central = {}
+        for order in range(2, self.degree + 1, 2):
+            interval = self.result.central_interval(order, self.valuation)
+            central[order] = Interval(max(interval.lo, 0.0), max(interval.hi, 0.0))
+        if q.direction == ">=":
+            bounds = best_upper_tail(
+                raws, central, q.threshold, nonnegative_cost=self.nonnegative_cost
+            )
+        else:
+            bounds = best_lower_tail(raws, central, q.threshold)
+        entry = bounds.best_entry()
+        evidence = {
+            "kind": "tail_bound",
+            "direction": q.direction,
+            "threshold": _round(q.threshold),
+            "candidates": [
+                {"inequality": name, "order": order, "bound": _round(value)}
+                for name, order, value in bounds.entries()
+            ],
+        }
+        if entry is None:
+            evidence["bound"] = 1.0
+            return (
+                Interval(0.0, 1.0),
+                evidence,
+                "no sound tail bound applicable"
+                + ("" if self.nonnegative_cost else " (signed-cost program)"),
+            )
+        name, order, value = entry
+        evidence["inequality"] = name
+        evidence["order"] = order
+        evidence["bound"] = _round(value)
+        return Interval(0.0, value), evidence, ""
+
+    def attack(self, q: AttackSuccess):
+        from repro.tail.attack import analyze_attack
+
+        analysis = analyze_attack(bits=q.bits, trials=q.trials)
+        rate = analysis.success_rate(q.skip)
+        evidence = {
+            "kind": "attack_success",
+            "bits": q.bits,
+            "trials": q.trials,
+            "skip": q.skip,
+            "lower_bound": _round(rate),
+        }
+        return Interval(rate, 1.0), evidence, ""
+
+
+def evaluate_assertion(
+    assertion: Assertion,
+    result: MomentBoundResult,
+    *,
+    valuation: dict[str, float] | None = None,
+    nonnegative_cost: bool = True,
+) -> AssertionOutcome:
+    evaluator = _Evaluator(result, valuation, nonnegative_cost)
+    condition = assertion.condition
+    quantity = condition.quantity
+
+    if isinstance(quantity, Stddev):
+        # Compare on the variance scale: stddev ~ b  <=>  variance ~ b^2
+        # (monotone for b >= 0; a negative bound decides immediately).
+        variance = evaluator.variance_interval()
+        if variance is None:
+            return AssertionOutcome(
+                assertion,
+                INCONCLUSIVE,
+                {"kind": "unavailable", "required_degree": 2},
+                "stddev needs moment degree 2 (re-run with moments=2)",
+            )
+        evidence = {
+            "kind": "stddev",
+            "variance_interval": _interval_json(variance),
+            "scale": "variance",
+        }
+        if isinstance(condition, Membership):
+            lo = max(condition.lo, 0.0) ** 2
+            hi = condition.hi**2 if condition.hi >= 0 else -1.0
+            verdict = FAIL if hi < 0 else _member(variance, lo, hi)
+        elif condition.bound < 0:
+            verdict = PASS if condition.op in (">=", ">") else FAIL
+        else:
+            verdict = _compare(variance, condition.op, condition.bound**2)
+        reason = "" if verdict != INCONCLUSIVE else "variance interval too wide"
+        return AssertionOutcome(assertion, verdict, evidence, reason)
+
+    if isinstance(quantity, RawMoment):
+        interval, evidence, reason = evaluator.raw_moment(quantity)
+    elif isinstance(quantity, CentralMoment):
+        interval, evidence, reason = evaluator.central_moment(quantity)
+    elif isinstance(quantity, TailProbability):
+        interval, evidence, reason = evaluator.tail(quantity)
+    elif isinstance(quantity, AttackSuccess):
+        interval, evidence, reason = evaluator.attack(quantity)
+    else:
+        raise TypeError(f"unknown quantity {quantity!r}")
+
+    verdict = _verdict(interval, condition)
+    if verdict != INCONCLUSIVE:
+        reason = ""
+    elif not reason:
+        if isinstance(quantity, TailProbability):
+            reason = (
+                f"best upper bound {evidence.get('bound')} does not decide the "
+                "assertion"
+            )
+        elif isinstance(quantity, AttackSuccess):
+            reason = (
+                f"success-rate lower bound {evidence.get('lower_bound')} does not "
+                "decide the assertion"
+            )
+        else:
+            reason = "moment interval too wide"
+    return AssertionOutcome(assertion, verdict, evidence, reason)
+
+
+def evaluate_spec(
+    spec: Spec,
+    result: MomentBoundResult,
+    *,
+    program: str = "",
+    valuation: dict[str, float] | None = None,
+    nonnegative_cost: bool = True,
+) -> ProgramCheck:
+    """Check every assertion of ``spec`` against one analysis result.
+
+    ``nonnegative_cost`` gates Markov-style raw-moment tail bounds — derive
+    it from the program with :func:`repro.tail.bounds.costs_nonnegative`.
+    """
+    check = ProgramCheck(program=program, spec=spec.name)
+    for assertion in spec.assertions:
+        check.outcomes.append(
+            evaluate_assertion(
+                assertion,
+                result,
+                valuation=valuation if valuation is not None else spec.valuation,
+                nonnegative_cost=nonnegative_cost,
+            )
+        )
+    return check

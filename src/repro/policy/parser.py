@@ -1,0 +1,363 @@
+"""Hand-rolled tokenizer and recursive-descent parser for spec files.
+
+Grammar (one assertion per line; ``#`` starts a comment; ``@`` starts a
+directive):
+
+    assertion  = quantity condition
+    condition  = relop number | "in" "[" number "," number "]"
+    quantity   = "P" "(" cost relop number ")"
+               | "E" "[" moment "]"
+               | ("mean" | "variance" | "stddev") "(" cost ")"
+               | "attack_success" "(" [ kwargs ] ")"
+    moment     = cost [ "^" integer ]
+               | "(" cost "-" "E" "[" cost "]" ")" "^" integer
+    cost       = "cost" | "C"
+    relop      = "<=" | "<" | ">=" | ">"
+    kwargs     = ident "=" number { "," ident "=" number }
+    number     = [ "-" ] digits [ "." digits ] [ ("e"|"E") [sign] digits ]
+
+Directives:
+
+    @name <free text>            spec display name
+    @programs p1, p2, glob-*     registry names / fnmatch globs
+    @options moments=4 degree=2 cap=3
+    @at x=10, y=0                initial valuation override
+
+Errors carry the 1-based line and column of the offending token.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.policy.ast import (
+    Assertion,
+    AttackSuccess,
+    CentralMoment,
+    Comparison,
+    Membership,
+    RawMoment,
+    Spec,
+    Stddev,
+    TailProbability,
+)
+
+
+class ParseError(ValueError):
+    """A spec syntax error with its source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        where = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+# -- tokenizer ---------------------------------------------------------------
+
+_NUMBER = re.compile(r"(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?")
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_OPS = ("<=", ">=", "<", ">", "(", ")", "[", "]", ",", "^", "=", "-")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "ident" | "op" | "end"
+    text: str
+    column: int
+
+
+def tokenize(text: str, line: int = 1) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        ch = text[pos]
+        if ch in " \t":
+            pos += 1
+            continue
+        if ch == "#":
+            break
+        m = _NUMBER.match(text, pos)
+        if m:
+            tokens.append(Token("number", m.group(), pos + 1))
+            pos = m.end()
+            continue
+        m = _IDENT.match(text, pos)
+        if m:
+            tokens.append(Token("ident", m.group(), pos + 1))
+            pos = m.end()
+            continue
+        for op in _OPS:
+            if text.startswith(op, pos):
+                tokens.append(Token("op", op, pos + 1))
+                pos += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, pos + 1)
+    tokens.append(Token("end", "", len(text) + 1))
+    return tokens
+
+
+# -- recursive descent -------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str, line: int):
+        self.text = text
+        self.line = line
+        self.tokens = tokenize(text, line)
+        self.pos = 0
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def fail(self, message: str) -> "ParseError":
+        return ParseError(message, self.line, self.cur.column)
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "end":
+            self.pos += 1
+        return tok
+
+    def expect_op(self, op: str) -> Token:
+        if self.cur.kind != "op" or self.cur.text != op:
+            raise self.fail(f"expected {op!r}, found {self.cur.text or 'end of line'!r}")
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        if self.cur.kind == "op" and self.cur.text == op:
+            self.advance()
+            return True
+        return False
+
+    def number(self) -> float:
+        negative = self.accept_op("-")
+        if self.cur.kind != "number":
+            raise self.fail(f"expected a number, found {self.cur.text or 'end of line'!r}")
+        value = float(self.advance().text)
+        return -value if negative else value
+
+    def integer(self) -> int:
+        column = self.cur.column
+        value = self.number()
+        if value != int(value) or value < 1:
+            raise ParseError(
+                f"expected a positive integer exponent, found {value}",
+                self.line,
+                column,
+            )
+        return int(value)
+
+    def relop(self) -> str:
+        if self.cur.kind == "op" and self.cur.text in ("<=", "<", ">=", ">"):
+            return self.advance().text
+        raise self.fail(
+            f"expected a comparison (<=, <, >=, >), found {self.cur.text or 'end of line'!r}"
+        )
+
+    def cost(self) -> None:
+        if self.cur.kind == "ident" and self.cur.text in ("cost", "C"):
+            self.advance()
+            return
+        raise self.fail(
+            f"expected the cost accumulator ('cost' or 'C'), found {self.cur.text or 'end of line'!r}"
+        )
+
+    # quantity = P(...) | E[...] | mean/variance/stddev(cost) | attack_success(...)
+    def quantity(self):
+        tok = self.cur
+        if tok.kind != "ident":
+            raise self.fail(
+                f"expected a quantity (P, E, mean, variance, stddev, attack_success), "
+                f"found {tok.text or 'end of line'!r}"
+            )
+        name = self.advance().text
+        if name == "P":
+            return self.tail_probability()
+        if name == "E":
+            return self.expectation()
+        if name in ("mean", "variance", "stddev"):
+            self.expect_op("(")
+            self.cost()
+            self.expect_op(")")
+            if name == "mean":
+                return RawMoment(1)
+            if name == "variance":
+                return CentralMoment(2)
+            return Stddev()
+        if name == "attack_success":
+            return self.attack_success()
+        raise ParseError(
+            f"unknown quantity {name!r} (expected P, E, mean, variance, stddev, "
+            "attack_success)",
+            self.line,
+            tok.column,
+        )
+
+    def tail_probability(self) -> TailProbability:
+        self.expect_op("(")
+        self.cost()
+        op = self.relop()
+        threshold = self.number()
+        self.expect_op(")")
+        # Strict tails normalize to the closed form the inequalities bound:
+        # P[X > t] <= P[X >= t] and P[X < t] <= P[X <= t].
+        direction = ">=" if op in (">=", ">") else "<="
+        return TailProbability(direction, threshold)
+
+    def expectation(self):
+        self.expect_op("[")
+        if self.accept_op("("):
+            # E[(cost - E[cost])^k]
+            self.cost()
+            self.expect_op("-")
+            if self.cur.kind != "ident" or self.cur.text != "E":
+                raise self.fail("expected E[cost] inside the central-moment form")
+            self.advance()
+            self.expect_op("[")
+            self.cost()
+            self.expect_op("]")
+            self.expect_op(")")
+            self.expect_op("^")
+            order = self.integer()
+            self.expect_op("]")
+            return CentralMoment(order)
+        self.cost()
+        order = 1
+        if self.accept_op("^"):
+            order = self.integer()
+        self.expect_op("]")
+        return RawMoment(order)
+
+    def attack_success(self) -> AttackSuccess:
+        self.expect_op("(")
+        kwargs: dict[str, float] = {}
+        if not self.accept_op(")"):
+            while True:
+                if self.cur.kind != "ident":
+                    raise self.fail("expected a keyword argument name")
+                key = self.advance().text
+                if key not in ("bits", "trials", "skip"):
+                    raise ParseError(
+                        f"unknown attack_success argument {key!r} "
+                        "(expected bits, trials, skip)",
+                        self.line,
+                        self.cur.column,
+                    )
+                self.expect_op("=")
+                kwargs[key] = self.number()
+                if self.accept_op(")"):
+                    break
+                self.expect_op(",")
+        return AttackSuccess(
+            bits=int(kwargs.get("bits", 32)),
+            trials=int(kwargs.get("trials", 10_000)),
+            skip=int(kwargs.get("skip", 0)),
+        )
+
+    def condition(self):
+        quantity = self.quantity()
+        if self.cur.kind == "ident" and self.cur.text == "in":
+            self.advance()
+            self.expect_op("[")
+            lo = self.number()
+            self.expect_op(",")
+            hi = self.number()
+            self.expect_op("]")
+            if lo > hi:
+                raise ParseError(
+                    f"empty interval [{lo}, {hi}]", self.line, self.cur.column
+                )
+            return Membership(quantity, lo, hi)
+        op = self.relop()
+        bound = self.number()
+        return Comparison(quantity, op, bound)
+
+    def assertion(self) -> Assertion:
+        condition = self.condition()
+        if self.cur.kind != "end":
+            raise self.fail(f"trailing input {self.cur.text!r}")
+        return Assertion(condition, self.text.strip(), self.line)
+
+
+def parse_assertion(text: str, line: int = 1) -> Assertion:
+    """Parse a single assertion line."""
+    return _Parser(text, line).assertion()
+
+
+# -- directives and whole files ----------------------------------------------
+
+
+def _parse_kv_pairs(body: str, line: int, directive: str) -> dict[str, float]:
+    pairs: dict[str, float] = {}
+    for chunk in re.split(r"[,\s]+", body.strip()):
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise ParseError(
+                f"{directive} expects key=value pairs, found {chunk!r}", line, 1
+            )
+        key, _, value = chunk.partition("=")
+        try:
+            pairs[key.strip()] = float(value)
+        except ValueError:
+            raise ParseError(
+                f"{directive}: bad number {value!r} for {key.strip()!r}", line, 1
+            ) from None
+    return pairs
+
+
+_OPTION_NAMES = ("moments", "degree", "cap")
+
+
+def parse_spec(text: str, path: str | None = None) -> Spec:
+    """Parse a whole spec file (assertions + directives)."""
+    spec = Spec(path=path)
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("@"):
+            directive, _, body = line.partition(" ")
+            if directive == "@name":
+                spec.name = body.strip()
+            elif directive == "@programs":
+                names = [n.strip() for n in body.split(",") if n.strip()]
+                if not names:
+                    raise ParseError("@programs needs at least one name", lineno, 1)
+                spec.programs = spec.programs + tuple(names)
+            elif directive == "@options":
+                for key, value in _parse_kv_pairs(body, lineno, "@options").items():
+                    if key not in _OPTION_NAMES:
+                        raise ParseError(
+                            f"unknown option {key!r} (expected one of "
+                            f"{', '.join(_OPTION_NAMES)})",
+                            lineno,
+                            1,
+                        )
+                    if value != int(value) or value < 1:
+                        raise ParseError(
+                            f"@options {key} must be a positive integer", lineno, 1
+                        )
+                    spec.options[key] = int(value)
+            elif directive == "@at":
+                valuation = _parse_kv_pairs(body, lineno, "@at")
+                spec.valuation = {**(spec.valuation or {}), **valuation}
+            else:
+                raise ParseError(
+                    f"unknown directive {directive!r} (expected @name, @programs, "
+                    "@options, @at)",
+                    lineno,
+                    1,
+                )
+            continue
+        spec.assertions.append(parse_assertion(line, lineno))
+    if not spec.assertions:
+        raise ParseError("spec has no assertions", 0, 0)
+    if not spec.name:
+        spec.name = path or "<spec>"
+    return spec

@@ -1,0 +1,125 @@
+"""Human and machine-readable rendering of policy check results.
+
+The JSON form is **byte-stable**: keys are emitted sorted, floats are
+noise-rounded at evaluation time, and no timing or host information is
+included — so a committed golden fixture can be compared byte-for-byte
+against fresh ``repro check --json`` output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.policy.evaluate import FAIL, INCONCLUSIVE, PASS, ProgramCheck
+
+_MARK = {PASS: "PASS", FAIL: "FAIL", INCONCLUSIVE: "????"}
+
+
+def check_to_dict(check: ProgramCheck) -> dict:
+    payload = {
+        "program": check.program,
+        "spec": check.spec,
+        "verdict": check.verdict,
+        "counts": check.counts,
+        "assertions": [outcome.to_dict() for outcome in check.outcomes],
+    }
+    if check.error is not None:
+        payload["error"] = check.error
+    return payload
+
+
+def render_check(check: ProgramCheck, verbose: bool = True) -> str:
+    """Human report for one program: one line per assertion plus a summary."""
+    lines = [f"{check.spec} :: {check.program}"]
+    if check.error is not None:
+        lines.append(f"  ERROR {check.error}")
+        return "\n".join(lines)
+    for outcome in check.outcomes:
+        lines.append(f"  {_MARK[outcome.verdict]}  {outcome.assertion.describe()}")
+        if verbose:
+            detail = _evidence_line(outcome.evidence)
+            if detail:
+                lines.append(f"        {detail}")
+            if outcome.reason:
+                lines.append(f"        {outcome.reason}")
+    counts = check.counts
+    lines.append(
+        f"  => {check.verdict} ({counts[PASS]} pass, {counts[FAIL]} fail, "
+        f"{counts[INCONCLUSIVE]} inconclusive)"
+    )
+    return "\n".join(lines)
+
+
+def _evidence_line(evidence: dict) -> str:
+    kind = evidence.get("kind")
+    if kind in ("raw_moment", "central_moment"):
+        lo, hi = evidence["interval"]
+        return f"moment interval [{lo}, {hi}]"
+    if kind == "stddev":
+        lo, hi = evidence["variance_interval"]
+        return f"variance interval [{lo}, {hi}] (stddev checked as variance)"
+    if kind == "tail_bound":
+        if "inequality" in evidence:
+            return (
+                f"{evidence['inequality']} at order {evidence['order']} gives "
+                f"bound {evidence['bound']}"
+            )
+        return "no applicable inequality"
+    if kind == "attack_success":
+        return f"certified success-rate lower bound {evidence['lower_bound']}"
+    if kind == "unavailable":
+        return f"needs moment degree {evidence.get('required_degree')}"
+    return ""
+
+
+# -- suites ------------------------------------------------------------------
+
+
+def suite_to_dict(runs) -> dict:
+    """JSON document for a whole suite (list of ``SpecRun``)."""
+    specs = []
+    totals = {PASS: 0, FAIL: 0, INCONCLUSIVE: 0}
+    verdict = PASS
+    for run in runs:
+        checks = [check_to_dict(check) for check in run.checks]
+        for check in run.checks:
+            v = check.verdict
+            totals[v] += 1
+            if v == FAIL:
+                verdict = FAIL
+            elif v == INCONCLUSIVE and verdict == PASS:
+                verdict = INCONCLUSIVE
+        specs.append(
+            {
+                "spec": run.spec.name,
+                "path": run.relpath,
+                "programs": [check.program for check in run.checks],
+                "checks": checks,
+            }
+        )
+    return {"verdict": verdict, "totals": totals, "specs": specs}
+
+
+def render_suite(runs, verbose: bool = False) -> str:
+    lines = []
+    totals = {PASS: 0, FAIL: 0, INCONCLUSIVE: 0}
+    for run in runs:
+        for check in run.checks:
+            totals[check.verdict] += 1
+            if verbose or check.verdict != PASS:
+                lines.append(render_check(check, verbose=True))
+            else:
+                counts = check.counts
+                lines.append(
+                    f"PASS  {run.spec.name} :: {check.program} "
+                    f"({counts[PASS]} assertions)"
+                )
+    lines.append(
+        f"suite: {totals[PASS]} pass, {totals[FAIL]} fail, "
+        f"{totals[INCONCLUSIVE]} inconclusive"
+    )
+    return "\n".join(lines)
+
+
+def to_json(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

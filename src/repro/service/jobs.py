@@ -50,7 +50,7 @@ from repro.service.cache import ArtifactCache, program_key
 from repro.service.store import Job, JobStore
 
 #: Job kinds the fleet knows how to run.
-JOB_KINDS = ("analyze", "sleep", "fail")
+JOB_KINDS = ("analyze", "check", "sleep", "fail")
 
 _OPTION_KEYS = {
     "moments",
@@ -177,6 +177,51 @@ def analyze_payload(source: str, options: "dict | None" = None) -> dict:
     return {"program": source, "options": options or {}}
 
 
+def check_payload(
+    source: str, spec_text: str, options: "dict | None" = None
+) -> dict:
+    """Validated ``check`` job payload: an Appl program plus a policy spec
+    (both parsed at enqueue time, like :func:`analyze_payload`)."""
+    from repro.policy.parser import ParseError as SpecParseError
+    from repro.policy.parser import parse_spec
+
+    if not isinstance(source, str) or not source.strip():
+        raise RequestError('a check job needs {"program": "<appl source>"}')
+    try:
+        parse_program(source)
+    except ParseError as exc:
+        raise RequestError(f"program does not parse: {exc}") from exc
+    if not isinstance(spec_text, str) or not spec_text.strip():
+        raise RequestError('a check job needs {"spec": "<assertions>"}')
+    try:
+        parse_spec(spec_text)
+    except SpecParseError as exc:
+        raise RequestError(f"spec does not parse: {exc}") from exc
+    options_from_dict(options)
+    return {"program": source, "spec": spec_text, "options": options or {}}
+
+
+def check_options(spec, options_data: "dict | None") -> AnalysisOptions:
+    """Analyzer options for a check: explicit request options win, the
+    spec's directives fill the gaps (``@options`` / assertion-implied
+    moment degree, ``@at`` valuation)."""
+    from dataclasses import replace
+
+    options = options_from_dict(options_data)
+    data = options_data or {}
+    if "moments" not in data:
+        options = replace(options, moment_degree=spec.min_moment_degree())
+    if "degree" not in data and "degree" in spec.options:
+        options = replace(options, template_degree=spec.options["degree"])
+    if "degree_cap" not in data and "cap" in spec.options:
+        options = replace(options, degree_cap=spec.options["cap"])
+    if "at" not in data and spec.valuation:
+        options = replace(
+            options, objective_valuations=(dict(spec.valuation),)
+        )
+    return options
+
+
 def job_idempotency_key(kind: str, payload: dict) -> str:
     """Content-derived idempotency key: two enqueues of the same program at
     the same options dedupe to one job (the ``dedupe`` flag of ``POST
@@ -187,6 +232,12 @@ def job_idempotency_key(kind: str, payload: dict) -> str:
     if kind == "analyze":
         body = program_key(parse_program(payload["program"]))
         opts = json.dumps(payload.get("options") or {}, sort_keys=True)
+    elif kind == "check":
+        body = program_key(parse_program(payload["program"]))
+        opts = json.dumps(
+            {"spec": payload.get("spec"), "options": payload.get("options") or {}},
+            sort_keys=True,
+        )
     else:
         body = json.dumps(payload, sort_keys=True)
         opts = ""
@@ -234,6 +285,46 @@ def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
             "program": program_key(program),
             "summary": result.summary(),
             "result": result.to_dict(),
+        }
+    if job.kind == "check":
+        from repro.policy.evaluate import evaluate_spec
+        from repro.policy.parser import ParseError as SpecParseError
+        from repro.policy.parser import parse_spec
+        from repro.policy.report import check_to_dict
+        from repro.tail.bounds import costs_nonnegative
+
+        try:
+            program = parse_program(payload.get("program") or "")
+        except ParseError as exc:
+            raise JobFailure(
+                f"program does not parse: {exc}", retryable=False
+            ) from exc
+        try:
+            spec = parse_spec(payload.get("spec") or "")
+        except SpecParseError as exc:
+            raise JobFailure(f"spec does not parse: {exc}", retryable=False) from exc
+        try:
+            options = check_options(spec, payload.get("options"))
+        except RequestError as exc:
+            raise JobFailure(str(exc), retryable=False) from exc
+        pipeline = AnalysisPipeline(program, artifacts=cache)
+        try:
+            result = pipeline.analyze(options)
+        except (ValidationError, LPInfeasibleError) as exc:
+            raise JobFailure(
+                f"{type(exc).__name__}: {exc}", retryable=False
+            ) from exc
+        check = evaluate_spec(
+            spec,
+            result,
+            program=program_key(program),
+            nonnegative_cost=costs_nonnegative(program),
+        )
+        return {
+            "ok": True,
+            "program": program_key(program),
+            "verdict": check.verdict,
+            "check": check_to_dict(check),
         }
     if job.kind == "sleep":
         seconds = float(payload.get("seconds", 0.0))
@@ -583,6 +674,8 @@ __all__ = [
     "RequestError",
     "WorkerPool",
     "analyze_payload",
+    "check_options",
+    "check_payload",
     "drain_queue",
     "enqueue_analysis",
     "execute_job",

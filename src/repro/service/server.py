@@ -14,6 +14,11 @@ Two serving modes share one process:
 Endpoints:
 
 * ``POST /analyze`` — inline analysis (see above).
+* ``POST /check`` — inline policy check: body ``{"program": src,
+  "spec": "<assertions>", "options": {...}}``; analyzes on the same warm
+  pipeline/cache path as ``/analyze`` and returns the per-assertion
+  pass/fail/inconclusive document of ``repro check --json``.  Durable
+  checks ride the queue as ``POST /jobs`` with ``"kind": "check"``.
 * ``POST /jobs`` — enqueue: body ``{"program": src, "options": {...},
   "priority": 0, "idempotency_key": "...", "dedupe": false,
   "max_attempts": 3}``; responds 202 with the job id (200 when an
@@ -147,6 +152,47 @@ class AnalysisService:
             "result": result.to_dict(),
         }, warm
 
+    def check_request(self, payload: dict) -> tuple[dict, bool]:
+        """``POST /check``: run a policy spec against one program, inline.
+
+        Rides the same warm-pipeline + artifact-cache path as ``/analyze``
+        (an identical program shares its pipeline and cached stages), and
+        returns the byte-stable check document of ``repro check --json``.
+        """
+        from repro.policy.evaluate import evaluate_spec
+        from repro.policy.parser import ParseError as SpecParseError
+        from repro.policy.parser import parse_spec
+        from repro.policy.report import check_to_dict
+        from repro.service.jobs import check_options
+        from repro.tail.bounds import costs_nonnegative
+
+        source = payload.get("program")
+        if not isinstance(source, str) or not source.strip():
+            raise RequestError('body must carry {"program": "<appl source>"}')
+        spec_text = payload.get("spec")
+        if not isinstance(spec_text, str) or not spec_text.strip():
+            raise RequestError('body must carry {"spec": "<assertions>"}')
+        try:
+            spec = parse_spec(spec_text)
+        except SpecParseError as exc:
+            raise RequestError(f"spec does not parse: {exc}") from exc
+        options = check_options(spec, payload.get("options"))
+        pipeline, lock, key, warm = self.pipeline_for(source)
+        with lock:
+            result = pipeline.analyze(options)
+        check = evaluate_spec(
+            spec,
+            result,
+            program=key,
+            nonnegative_cost=costs_nonnegative(pipeline.program),
+        )
+        return {
+            "ok": True,
+            "program": key,
+            "verdict": check.verdict,
+            "check": check_to_dict(check),
+        }, warm
+
     # -- job queue -----------------------------------------------------------
 
     def _require_store(self) -> JobStore:
@@ -188,6 +234,21 @@ class AnalysisService:
                 priority=priority,
                 idempotency_key=key,
                 dedupe=bool(payload.get("dedupe", False)),
+                max_attempts=max_attempts,
+            )
+        elif kind == "check":
+            from repro.service.jobs import check_payload
+
+            body = check_payload(
+                payload.get("program"), payload.get("spec"), payload.get("options")
+            )
+            if key is None and payload.get("dedupe"):
+                key = job_idempotency_key(kind, body)
+            job_id, deduped = store.enqueue(
+                body,
+                kind=kind,
+                priority=priority,
+                idempotency_key=key,
                 max_attempts=max_attempts,
             )
         elif kind in ("sleep", "fail"):
@@ -492,13 +553,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         self.service.requests += 1
-        if self.path not in ("/analyze", "/batch", "/jobs"):
+        if self.path not in ("/analyze", "/check", "/batch", "/jobs"):
             self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
             return
         try:
             payload = self._read_json()
             if self.path == "/analyze":
                 answer, warm = self.service.analyze_request(payload)
+                self._send_json(
+                    200, answer, {"X-Repro-Warm": "true" if warm else "false"}
+                )
+            elif self.path == "/check":
+                answer, warm = self.service.check_request(payload)
                 self._send_json(
                     200, answer, {"X-Repro-Warm": "true" if warm else "false"}
                 )

@@ -12,22 +12,41 @@ slice of the inferred moment information:
 All results are probabilities clipped to ``[0, 1]``; the helpers take the
 *pessimistic* end of the mean interval so the bounds stay sound when only
 interval information is available.
+
+Soundness gating: Markov's ``P[X >= t] <= E[X^k] / t^k`` needs ``X >= 0``
+at odd ``k`` (for signed costs only the even orders survive, via
+``P[X >= t] <= P[X^k >= t^k]``), and a *negative* raw-moment upper bound —
+reachable for signed-cost programs — certifies nothing.
+:func:`best_upper_tail` therefore takes a ``nonnegative_cost`` flag (derive
+it from a program's tick signs with :func:`costs_nonnegative`) and *skips*
+inapplicable inequalities rather than raising or recording vacuous ``1.0``
+entries; whatever :class:`TailBounds` records is a bound that actually
+holds, so per-assertion evidence can name it.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.rings.interval import Interval
 
 
 def markov_tail(raw_upper: float, k: int, threshold: float) -> float:
-    """``P[X >= t] <= E[X^k] / t^k`` for nonnegative ``X`` and ``t > 0``."""
+    """``P[X >= t] <= E[X^k] / t^k`` for nonnegative ``X`` and ``t > 0``.
+
+    For signed ``X`` the inequality survives only at even ``k`` (apply
+    Markov to the nonnegative ``X^k``); callers gate odd orders — see
+    :func:`best_upper_tail`.
+    """
     if threshold <= 0:
         return 1.0
     if raw_upper < 0:
         raise ValueError("raw moment bound of a nonnegative variable is negative")
-    return min(1.0, raw_upper / threshold**k)
+    denom = threshold**k
+    if denom <= 0:  # threshold^k underflowed
+        return 1.0
+    return min(1.0, raw_upper / denom)
 
 
 def cantelli_upper_tail(
@@ -39,22 +58,30 @@ def cantelli_upper_tail(
     ``mu <= mean_upper`` the deviation ``t - mu`` is at least
     ``t - mean_upper``, so the bound is sound.
     """
+    if variance_upper < 0:
+        raise ValueError("negative variance bound")
     gap = threshold - mean_upper
     if gap <= 0:
         return 1.0
-    if variance_upper < 0:
-        raise ValueError("negative variance bound")
-    return min(1.0, variance_upper / (variance_upper + gap * gap))
+    denom = variance_upper + gap * gap
+    if denom <= 0:  # gap^2 underflowed with a zero variance bound
+        return 1.0
+    return min(1.0, variance_upper / denom)
 
 
 def cantelli_lower_tail(
     variance_upper: float, mean_lower: float, threshold: float
 ) -> float:
     """``P[X <= t] <= V / (V + (mean - t)^2)`` for ``t < mean``."""
+    if variance_upper < 0:
+        raise ValueError("negative variance bound")
     gap = mean_lower - threshold
     if gap <= 0:
         return 1.0
-    return min(1.0, variance_upper / (variance_upper + gap * gap))
+    denom = variance_upper + gap * gap
+    if denom <= 0:  # gap^2 underflowed with a zero variance bound
+        return 1.0
+    return min(1.0, variance_upper / denom)
 
 
 def chebyshev_tail(
@@ -64,12 +91,15 @@ def chebyshev_tail(
 
     ``central_upper`` bounds the ``2k``-th central moment.
     """
+    if central_upper < 0:
+        raise ValueError("negative central moment bound")
     gap = threshold - mean_upper
     if gap <= 0:
         return 1.0
-    if central_upper < 0:
-        raise ValueError("negative central moment bound")
-    return min(1.0, central_upper / gap ** (2 * k))
+    denom = gap ** (2 * k)
+    if denom <= 0:  # gap^2k underflowed
+        return 1.0
+    return min(1.0, central_upper / denom)
 
 
 def chebyshev_two_sided(
@@ -78,56 +108,161 @@ def chebyshev_two_sided(
     """``P[|X - mu| >= a] <= E[(X-mu)^{2k}] / a^{2k}``."""
     if deviation <= 0:
         return 1.0
-    return min(1.0, central_upper / deviation ** (2 * k))
+    denom = deviation ** (2 * k)
+    if denom <= 0:  # deviation^2k underflowed
+        return 1.0
+    return min(1.0, central_upper / denom)
 
 
 @dataclass
 class TailBounds:
-    """All tail bounds available from a set of moment intervals."""
+    """All *applicable* tail bounds from a set of moment intervals.
+
+    Inapplicable inequalities (signed costs at odd Markov orders, negative
+    raw-moment upper bounds, a missing/unbounded mean for the one-sided
+    central bounds) are absent rather than recorded as vacuous ``1.0``
+    entries, so every entry here is a bound that actually holds and can be
+    cited as evidence.
+    """
 
     threshold: float
     markov: dict[int, float]
     cantelli: float | None
     chebyshev: dict[int, float]
 
-    def best(self) -> float:
-        candidates = list(self.markov.values()) + list(self.chebyshev.values())
+    def entries(self) -> list[tuple[str, int, float]]:
+        """Every recorded bound as ``(inequality, moment order, value)``."""
+        out = [("markov", k, v) for k, v in sorted(self.markov.items())]
         if self.cantelli is not None:
-            candidates.append(self.cantelli)
-        return min(candidates) if candidates else 1.0
+            out.append(("cantelli", 2, self.cantelli))
+        out.extend(("chebyshev", k, v) for k, v in sorted(self.chebyshev.items()))
+        return out
+
+    def best_entry(self) -> "tuple[str, int, float] | None":
+        """The tightest recorded bound, or ``None`` when nothing applies.
+
+        Ties break deterministically toward the entry listed first by
+        :meth:`entries` (Markov by order, then Cantelli, then Chebyshev).
+        """
+        entries = self.entries()
+        if not entries:
+            return None
+        return min(entries, key=lambda e: e[2])
+
+    def best(self) -> float:
+        """The tightest applicable bound (``1.0`` when nothing applies —
+        trivially sound, but :meth:`best_entry` is ``None`` so callers can
+        tell the vacuous case apart)."""
+        entry = self.best_entry()
+        return entry[2] if entry is not None else 1.0
 
 
 def best_upper_tail(
     raw: list[Interval],
     central: dict[int, Interval] | None,
     threshold: float,
+    *,
+    nonnegative_cost: bool = True,
 ) -> TailBounds:
     """Best available bound on ``P[X >= threshold]``.
 
     ``raw[k]`` brackets ``E[X^k]`` (``raw[0]`` ignored), ``central[2k]``
-    brackets the ``2k``-th central moment.
+    brackets the ``2k``-th central moment.  ``nonnegative_cost`` asserts
+    ``X >= 0`` (derive it with :func:`costs_nonnegative`); without it,
+    odd-order Markov entries are unsound and are skipped, as is any entry
+    whose raw-moment upper bound came out negative.
     """
-    markov = {
-        k: markov_tail(raw[k].hi, k, threshold) for k in range(1, len(raw))
-    }
-    mean_upper = raw[1].hi if len(raw) > 1 else float("inf")
+    markov: dict[int, float] = {}
+    for k in range(1, len(raw)):
+        if not nonnegative_cost and k % 2 == 1:
+            continue  # Markov needs X >= 0 at odd orders
+        if raw[k].hi < 0:
+            continue  # certifies nothing (and for even k cannot be sound)
+        markov[k] = markov_tail(raw[k].hi, k, threshold)
+    mean = raw[1] if len(raw) > 1 else None
     cantelli = None
     chebyshev: dict[int, float] = {}
-    if central:
-        if 2 in central:
-            cantelli = cantelli_upper_tail(central[2].hi, mean_upper, threshold)
+    if central and mean is not None and math.isfinite(mean.hi):
+        if 2 in central and central[2].hi >= 0:
+            cantelli = cantelli_upper_tail(central[2].hi, mean.hi, threshold)
         for order, interval in central.items():
-            if order >= 4 and order % 2 == 0:
+            if order >= 4 and order % 2 == 0 and interval.hi >= 0:
                 chebyshev[order] = chebyshev_tail(
-                    interval.hi, order // 2, mean_upper, threshold
+                    interval.hi, order // 2, mean.hi, threshold
                 )
     return TailBounds(threshold, markov, cantelli, chebyshev)
+
+
+def best_lower_tail(
+    raw: list[Interval],
+    central: dict[int, Interval] | None,
+    threshold: float,
+) -> TailBounds:
+    """Best available bound on ``P[X <= threshold]`` (the *lower* tail).
+
+    Only the Cantelli form applies one-sidedly below the mean; it uses the
+    *lower* end of the mean interval (``t < mu`` for every admissible
+    ``mu >= mean_lower`` keeps the deviation at least ``mean_lower - t``).
+    """
+    mean = raw[1] if len(raw) > 1 else None
+    cantelli = None
+    if (
+        central
+        and mean is not None
+        and math.isfinite(mean.lo)
+        and 2 in central
+        and central[2].hi >= 0
+    ):
+        cantelli = cantelli_lower_tail(central[2].hi, mean.lo, threshold)
+    return TailBounds(threshold, {}, cantelli, {})
 
 
 def tail_curve(
     thresholds,
     raw: list[Interval],
     central: dict[int, Interval] | None = None,
+    *,
+    nonnegative_cost: bool = True,
 ):
     """``[(d, TailBounds)]`` over a grid — the data behind Figs. 1(c)/9/15."""
-    return [(float(d), best_upper_tail(raw, central, float(d))) for d in thresholds]
+    return [
+        (
+            float(d),
+            best_upper_tail(
+                raw, central, float(d), nonnegative_cost=nonnegative_cost
+            ),
+        )
+        for d in thresholds
+    ]
+
+
+def costs_nonnegative(program) -> bool:
+    """``True`` iff every ``tick`` in the program charges a nonnegative cost.
+
+    The flag Markov-style raw-moment bounds need: with only nonnegative
+    ticks the accumulated cost is a nonnegative random variable.  Derived
+    syntactically from the tick signs, so it is sound for any execution.
+    """
+    from repro.lang.ast import (
+        IfBranch,
+        NondetBranch,
+        ProbBranch,
+        Seq,
+        Tick,
+        While,
+    )
+
+    def walk(stmt) -> bool:
+        if isinstance(stmt, Tick):
+            return stmt.cost >= 0
+        if isinstance(stmt, Seq):
+            return all(walk(s) for s in stmt.stmts)
+        if isinstance(stmt, (ProbBranch, IfBranch)):
+            return walk(stmt.then_branch) and walk(stmt.else_branch)
+        if isinstance(stmt, NondetBranch):
+            return walk(stmt.left) and walk(stmt.right)
+        if isinstance(stmt, While):
+            return walk(stmt.body)
+        return True
+
+    return all(walk(fun.body) for fun in program.functions.values())

@@ -20,11 +20,14 @@ from repro.analysis.pipeline import AnalysisOptions
 from repro.cli import run as cli_run
 from repro.service.cache import ArtifactCache
 from repro.service.executor import run_batch
+from repro.policy.parser import parse_spec
 from repro.service.jobs import (
     JobFailure,
     RequestError,
     WorkerPool,
     analyze_payload,
+    check_options,
+    check_payload,
     enqueue_analysis,
     execute_job,
     job_idempotency_key,
@@ -109,6 +112,46 @@ class TestPayloads:
         c = job_idempotency_key("analyze", analyze_payload(SIMPLE, {"moments": 2}))
         assert a == b and a != c
 
+    def test_check_payload_validates_up_front(self):
+        payload = check_payload(SIMPLE, "E[cost] <= 10")
+        assert payload["spec"] == "E[cost] <= 10"
+        with pytest.raises(RequestError):
+            check_payload("", "E[cost] <= 10")
+        with pytest.raises(RequestError):
+            check_payload("not appl at all", "E[cost] <= 10")
+        with pytest.raises(RequestError):
+            check_payload(SIMPLE, "")
+        with pytest.raises(RequestError):
+            check_payload(SIMPLE, "E[cost] <= <=")
+        with pytest.raises(RequestError):
+            check_payload(SIMPLE, "E[cost] <= 10", {"bogus_option": 1})
+
+    def test_check_idempotency_key_is_spec_sensitive(self):
+        a = job_idempotency_key("check", check_payload(SIMPLE, "E[cost] <= 10"))
+        # Whitespace-different program, same canonical content + same spec.
+        b = job_idempotency_key(
+            "check", check_payload("\n" + SIMPLE + "\n", "E[cost] <= 10")
+        )
+        c = job_idempotency_key("check", check_payload(SIMPLE, "E[cost] <= 11"))
+        d = job_idempotency_key(
+            "check", check_payload(SIMPLE, "E[cost] <= 10", {"moments": 3})
+        )
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_check_options_spec_fills_gaps(self):
+        spec = parse_spec("@at d=4, x=0\n@options moments=3\nE[cost] <= 10\n")
+        options = check_options(spec, None)
+        assert options.moment_degree == 3
+        assert options.objective_valuations == ({"d": 4.0, "x": 0.0},)
+        # Explicit request options win over spec directives.
+        options = check_options(spec, {"moments": 1, "at": {"d": 9.0}})
+        assert options.moment_degree == 1
+        assert options.objective_valuations == ({"d": 9.0},)
+        # Without @options, the assertion forms imply the degree.
+        tail_spec = parse_spec("P(cost >= 100) <= 0.5")
+        assert check_options(tail_spec, None).moment_degree == 2
+
 
 class TestExecuteJob:
     def test_analyze_matches_pipeline(self, store):
@@ -122,6 +165,27 @@ class TestExecuteJob:
     def test_deterministic_failure_is_not_retryable(self, store):
         job_id, _ = store.enqueue(
             {"program": BROKEN, "options": {}}, kind="analyze"
+        )
+        job = store.lease("w")
+        with pytest.raises(JobFailure) as failure:
+            execute_job(job)
+        assert not failure.value.retryable
+
+    def test_check_job_round_trip(self, store):
+        # The analyzer brackets E[C] in [d, d+1] for this loop shape.
+        spec = "@at d=4, x=0\n@options moments=1\nE[cost] in [3.9, 5.1]\n"
+        store.enqueue(check_payload(SIMPLE, spec), kind="check")
+        job = store.lease("w")
+        doc = execute_job(job)
+        assert doc["ok"] and doc["verdict"] == "pass"
+        assert [a["verdict"] for a in doc["check"]["assertions"]] == ["pass"]
+
+    def test_check_job_static_failure_is_not_retryable(self, store):
+        # Parses at enqueue time, fails deterministically in the static
+        # stage — a dead letter, not a retry loop.
+        store.enqueue(
+            {"program": BROKEN, "spec": "E[cost] <= 1", "options": {}},
+            kind="check",
         )
         job = store.lease("w")
         with pytest.raises(JobFailure) as failure:
@@ -339,6 +403,28 @@ class TestJobEndpoints:
             time.sleep(0.05)
         doc = json.loads(raw)
         assert doc["state"] == "done" and "E[C^1]" in doc["summary"]
+
+    def test_check_job_rides_the_queue(self, queue_server):
+        server, _store, _pool = queue_server
+        spec = "@at d=4, x=0\n@options moments=1\nE[cost] in [3.9, 5.1]\n"
+        body = {"kind": "check", "program": SIMPLE, "spec": spec,
+                "dedupe": True}
+        status, first = _post(server, "/jobs", body)
+        assert status == 202 and first["ok"]
+        # Dedupe is spec-aware: the same program + spec maps to one job.
+        status, second = _post(server, "/jobs", body)
+        assert status == 200 and second["id"] == first["id"]
+        assert second["deduped"]
+        deadline = time.time() + 90.0
+        while time.time() < deadline:
+            status, raw = _get(server, f"/jobs/{first['id']}/result")
+            if status == 200:
+                break
+            assert status == 202
+            time.sleep(0.05)
+        doc = json.loads(raw)
+        assert doc["state"] == "done" and doc["verdict"] == "pass"
+        assert [a["verdict"] for a in doc["check"]["assertions"]] == ["pass"]
 
     def test_dedupe_returns_the_same_job(self, queue_server):
         server, _store, _pool = queue_server

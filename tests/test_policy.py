@@ -1,0 +1,600 @@
+"""Tests for the tail-assertion policy language (:mod:`repro.policy`).
+
+Four layers, matching the package:
+
+* parser — every assertion form, directives, error positions, and a
+  property suite (`describe()` is a parse fixpoint over generated ASTs);
+* evaluator — the pass/fail/inconclusive verdict model on a program whose
+  analysis is *exact* (geo: E=1, E[C^2]=3, V=2), so every verdict edge is
+  deterministic, plus the soundness gating on signed-cost programs;
+* reports — the `--json` document is byte-stable (golden fixture);
+* surfaces — `repro check` CLI (single + suite + exit codes) and the
+  example suite over the whole registry, including the paper's
+  timing-attack assertion.
+"""
+
+import io
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pipeline import AnalysisOptions, AnalysisPipeline
+from repro.cli import run
+from repro.policy.ast import (
+    Assertion,
+    AttackSuccess,
+    CentralMoment,
+    Comparison,
+    Membership,
+    RawMoment,
+    Spec,
+    Stddev,
+    TailProbability,
+)
+from repro.policy.evaluate import (
+    FAIL,
+    INCONCLUSIVE,
+    PASS,
+    evaluate_assertion,
+    evaluate_spec,
+)
+from repro.policy.parser import ParseError, parse_assertion, parse_spec
+from repro.policy.report import check_to_dict, suite_to_dict, to_json
+from repro.policy.suite import load_suite, options_for, resolve_programs, run_suite
+from repro.programs.registry import get
+from repro.tail.bounds import costs_nonnegative
+
+DATA = pathlib.Path(__file__).parent / "data"
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples" / "specs"
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class TestParseForms:
+    def test_tail_probability(self):
+        a = parse_assertion("P(cost >= 500) <= 1e-3")
+        assert a.condition == Comparison(TailProbability(">=", 500.0), "<=", 1e-3)
+
+    def test_strict_tails_normalize_to_closed(self):
+        assert parse_assertion("P(cost > 10) <= 0.5").condition.quantity == \
+            TailProbability(">=", 10.0)
+        assert parse_assertion("P(cost < 10) <= 0.5").condition.quantity == \
+            TailProbability("<=", 10.0)
+
+    def test_raw_moments_and_synonyms(self):
+        assert parse_assertion("E[C] in [69, 71]").condition == \
+            Membership(RawMoment(1), 69.0, 71.0)
+        assert parse_assertion("E[cost^3] <= 10").condition.quantity == RawMoment(3)
+        assert parse_assertion("mean(cost) >= 2").condition.quantity == RawMoment(1)
+
+    def test_central_moment_and_variance(self):
+        assert parse_assertion("E[(C - E[C])^2] <= 25").condition.quantity == \
+            CentralMoment(2)
+        assert parse_assertion("E[(cost - E[cost])^4] <= 9").condition.quantity == \
+            CentralMoment(4)
+        assert parse_assertion("variance(C) <= 25").condition.quantity == \
+            CentralMoment(2)
+
+    def test_stddev(self):
+        assert parse_assertion("stddev(cost) <= 10").condition == \
+            Comparison(Stddev(), "<=", 10.0)
+
+    def test_attack_success(self):
+        a = parse_assertion("attack_success(bits=32, trials=10000) >= 0.219413")
+        assert a.condition.quantity == AttackSuccess(32, 10_000, 0)
+        b = parse_assertion("attack_success(skip=6) >= 0.8")
+        assert b.condition.quantity == AttackSuccess(32, 10_000, 6)
+
+    def test_negative_and_scientific_numbers(self):
+        a = parse_assertion("E[cost] in [-100, 1.5e2]")
+        assert a.condition == Membership(RawMoment(1), -100.0, 150.0)
+
+    def test_comments_and_whitespace(self):
+        a = parse_assertion("  E[cost]   <=   5   # trailing comment")
+        assert a.condition == Comparison(RawMoment(1), "<=", 5.0)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "E[cost",
+            "E[cost] <=",
+            "E[cost] in [5, 1]",  # empty interval
+            "P(cost >= 10)",  # no outer comparison
+            "P(x >= 10) <= 0.5",  # not the cost accumulator
+            "E[cost^0] <= 1",  # exponent must be >= 1
+            "E[cost^1.5] <= 1",
+            "median(cost) <= 1",  # unknown quantity
+            "attack_success(power=9) >= 0",  # unknown kwarg
+            "E[cost] <= 5 extra",  # trailing input
+            "E[cost] ~ 5",  # unknown character
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_assertion(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_spec("E[cost] <= 1\nE[cost] in [5, ]\n")
+        assert err.value.line == 2
+        assert err.value.column > 0
+
+
+class TestDirectives:
+    SPEC = """
+    # suite header
+    @name my suite
+    @programs rdwalk, wang-*
+    @options moments=4 degree=2
+    @at d=10, x=0
+    E[cost] <= 25
+    """
+
+    def test_directives_parse(self):
+        spec = parse_spec(self.SPEC)
+        assert spec.name == "my suite"
+        assert spec.programs == ("rdwalk", "wang-*")
+        assert spec.options == {"moments": 4, "degree": 2}
+        assert spec.valuation == {"d": 10.0, "x": 0.0}
+        assert len(spec.assertions) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "@programs\nE[cost] <= 1",
+            "@options speed=9\nE[cost] <= 1",
+            "@options moments=0\nE[cost] <= 1",
+            "@at d=fast\nE[cost] <= 1",
+            "@shard 3\nE[cost] <= 1",
+            "E[cost] <= 1\nE[cost] in [5, ]",
+        ],
+    )
+    def test_bad_directives_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_spec(bad)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ParseError, match="no assertions"):
+            parse_spec("# only a comment\n")
+
+    def test_min_moment_degree(self):
+        assert parse_spec("E[cost] <= 1").min_moment_degree() == 1
+        assert parse_spec("E[cost^4] <= 1").min_moment_degree() == 4
+        assert parse_spec("stddev(cost) <= 1").min_moment_degree() == 2
+        assert parse_spec("P(cost >= 9) <= 1").min_moment_degree() == 2
+        # An explicit pin wins, even below what assertions want.
+        assert (
+            parse_spec("@options moments=1\nP(cost >= 9) <= 1").min_moment_degree()
+            == 1
+        )
+
+
+# -- property suite: describe() is a parse fixpoint --------------------------
+
+_numbers = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+_orders = st.integers(min_value=1, max_value=8)
+_quantities = st.one_of(
+    _orders.map(RawMoment),
+    _orders.map(CentralMoment),
+    st.just(Stddev()),
+    st.tuples(st.sampled_from([">=", "<="]), _numbers).map(
+        lambda t: TailProbability(*t)
+    ),
+    st.tuples(
+        st.integers(1, 64), st.integers(1, 10**6), st.integers(0, 8)
+    ).map(lambda t: AttackSuccess(*t)),
+)
+_conditions = st.one_of(
+    st.tuples(_quantities, st.sampled_from(["<=", "<", ">=", ">"]), _numbers).map(
+        lambda t: Comparison(*t)
+    ),
+    st.tuples(_quantities, _numbers, _numbers).map(
+        lambda t: Membership(t[0], min(t[1], t[2]), max(t[1], t[2]))
+    ),
+)
+
+
+class TestParserProperties:
+    @given(condition=_conditions)
+    @settings(max_examples=200, deadline=None)
+    def test_describe_is_a_parse_fixpoint(self, condition):
+        text = condition.describe()
+        reparsed = parse_assertion(text).condition
+        assert reparsed == condition, text
+        # And describing again is stable (canonical form).
+        assert reparsed.describe() == text
+
+    @given(condition=_conditions)
+    @settings(max_examples=50, deadline=None)
+    def test_assertion_carries_source_text(self, condition):
+        text = condition.describe()
+        assertion = parse_assertion("  " + text + "  # note", line=7)
+        assert assertion.text == text + "  # note"
+        assert assertion.line == 7
+
+
+# ---------------------------------------------------------------------------
+# Evaluator verdicts (geo analysis is exact: E=1, E[C^2]=3, V=2)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def geo_result():
+    bench = get("geo")
+    pipeline = AnalysisPipeline(bench.parse())
+    return pipeline.analyze(
+        AnalysisOptions(
+            moment_degree=2, objective_valuations=(dict(bench.valuation),)
+        )
+    )
+
+
+def _verdict(text: str, result, **kwargs) -> str:
+    return evaluate_assertion(parse_assertion(text), result, **kwargs).verdict
+
+
+class TestMomentVerdicts:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("E[cost] <= 1", PASS),
+            ("E[cost] <= 0.5", FAIL),
+            ("E[cost] >= 1", PASS),
+            ("E[cost] >= 1.5", FAIL),
+            ("E[cost] < 1", FAIL),
+            ("E[cost] > 0.5", PASS),
+            ("E[cost] in [1, 1]", PASS),
+            ("E[cost] in [2, 3]", FAIL),
+            ("E[cost^2] in [3, 3]", PASS),
+            ("variance(cost) in [2, 2]", PASS),
+            ("E[(cost - E[cost])^2] <= 2", PASS),
+            ("stddev(cost) <= 1.5", PASS),  # sqrt(2) ~ 1.414
+            ("stddev(cost) <= 1.4", FAIL),
+            ("stddev(cost) >= -1", PASS),  # trivially nonnegative
+            ("stddev(cost) <= -1", FAIL),
+            ("mean(cost) in [0.9, 1.1]", PASS),
+        ],
+    )
+    def test_exact_intervals_decide(self, geo_result, text, expected):
+        assert _verdict(text, geo_result) == expected
+
+    def test_order_above_degree_is_inconclusive_with_hint(self, geo_result):
+        outcome = evaluate_assertion(parse_assertion("E[cost^4] <= 100"), geo_result)
+        assert outcome.verdict == INCONCLUSIVE
+        assert "moments=4" in outcome.reason
+
+    def test_tail_upper_bound_passes_and_refutes(self, geo_result):
+        # Markov at order 2: 3/100; Cantelli: 2/(2+81) ~ 0.0247.
+        assert _verdict("P(cost >= 10) <= 0.05", geo_result) == PASS
+        assert _verdict("P(cost >= 10) >= 0.5", geo_result) == FAIL
+
+    def test_tail_lower_assertion_never_passes_from_upper_evidence(
+        self, geo_result
+    ):
+        # The best upper bound is ~0.0247: it cannot *certify* P >= 0.01,
+        # only fail to refute it.
+        assert _verdict("P(cost >= 10) >= 0.01", geo_result) == INCONCLUSIVE
+
+    def test_trivial_probability_edges(self, geo_result):
+        assert _verdict("P(cost >= 10) <= 1", geo_result) == PASS
+        assert _verdict("P(cost >= 10) >= 0", geo_result) == PASS
+
+    def test_lower_tail_via_cantelli(self, geo_result):
+        # P(cost <= t) for t below the mean: Cantelli lower bound applies.
+        outcome = evaluate_assertion(
+            parse_assertion("P(cost <= -10) <= 0.02"), geo_result
+        )
+        assert outcome.verdict == PASS
+        assert outcome.evidence["inequality"] == "cantelli"
+
+    def test_evidence_names_inequality_and_order(self, geo_result):
+        outcome = evaluate_assertion(
+            parse_assertion("P(cost >= 10) <= 0.05"), geo_result
+        )
+        assert outcome.evidence["kind"] == "tail_bound"
+        assert outcome.evidence["inequality"] == "cantelli"
+        assert outcome.evidence["order"] == 2
+        assert 0.0 < outcome.evidence["bound"] < 0.05
+        assert {c["inequality"] for c in outcome.evidence["candidates"]} == {
+            "markov",
+            "cantelli",
+        }
+
+    def test_attack_success_assertion(self, geo_result):
+        assert (
+            _verdict(
+                "attack_success(bits=32, trials=10000) >= 0.219413", geo_result
+            )
+            == PASS
+        )
+        assert (
+            _verdict("attack_success(bits=32, trials=10000) >= 0.9", geo_result)
+            == INCONCLUSIVE
+        )
+
+
+class TestSignedCostGating:
+    """The satellite bugfix, end to end: signed-cost programs must not
+    crash the tail layer and must not claim unsound Markov evidence."""
+
+    @pytest.fixture(scope="class")
+    def signed_result(self):
+        bench = get("wang-bitcoin-mining")  # E[C] = -15 at x=10
+        pipeline = AnalysisPipeline(bench.parse())
+        return pipeline.analyze(
+            AnalysisOptions(
+                moment_degree=1, objective_valuations=(dict(bench.valuation),)
+            )
+        )
+
+    def test_signed_program_detected(self):
+        assert costs_nonnegative(get("wang-bitcoin-mining").parse()) is False
+        assert costs_nonnegative(get("rdwalk").parse()) is True
+        # Nonnegativity is derived per program, not per family: these wang
+        # programs only ever tick nonnegative costs.
+        assert costs_nonnegative(get("wang-queueing").parse()) is True
+
+    def test_no_crash_and_honest_inconclusive(self, signed_result):
+        outcome = evaluate_assertion(
+            parse_assertion("P(cost >= 100) <= 0.5"),
+            signed_result,
+            nonnegative_cost=False,
+        )
+        assert outcome.verdict == INCONCLUSIVE
+        assert outcome.evidence["candidates"] == []
+        assert "no sound tail bound" in outcome.reason
+
+    def test_moment_assertions_still_decide(self, signed_result):
+        outcome = evaluate_assertion(
+            parse_assertion("E[cost] in [-16, -14]"),
+            signed_result,
+            nonnegative_cost=False,
+        )
+        assert outcome.verdict == PASS
+
+
+# ---------------------------------------------------------------------------
+# Suite loading, resolution, and the golden JSON fixture
+# ---------------------------------------------------------------------------
+
+
+class TestSuiteResolution:
+    def test_globs_resolve_in_mention_order(self):
+        spec = Spec(programs=("rdwalk", "kura-1-*"), assertions=[object()])
+        assert resolve_programs(spec) == ["rdwalk", "kura-1-1", "kura-1-2"]
+
+    def test_unmatched_pattern_rejected(self):
+        spec = Spec(programs=("no-such-*",), assertions=[object()])
+        with pytest.raises(ValueError, match="matches no registry program"):
+            resolve_programs(spec)
+
+    def test_options_respect_bench_metadata_and_spec_pins(self):
+        spec = parse_spec("@programs kura-1-1\nE[cost] <= 51")
+        options = options_for(spec, get("kura-1-1"))
+        # Registered m=4 d=2 cap=2 win over the assertion's minimum of 1.
+        assert options.moment_degree == 4
+        assert options.template_degree == 2
+        assert options.degree_cap == 2
+        pinned = parse_spec(
+            "@programs kura-1-1\n@options moments=2 degree=1 cap=1\nE[cost] <= 51"
+        )
+        options = options_for(pinned, get("kura-1-1"))
+        assert options.moment_degree == 2
+        assert options.template_degree == 1
+        assert options.degree_cap == 1
+
+    def test_load_suite_requires_specs_and_programs(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_suite(tmp_path)
+        (tmp_path / "a.spec").write_text("E[cost] <= 1\n")
+        with pytest.raises(ValueError, match="@programs"):
+            load_suite(tmp_path)
+
+
+@pytest.fixture(scope="module")
+def golden_runs():
+    return run_suite(load_suite(DATA / "golden_suite")).runs
+
+
+class TestGoldenReport:
+    def test_json_report_is_byte_stable(self, golden_runs):
+        expected = (DATA / "golden_check.json").read_bytes()
+        assert to_json(suite_to_dict(golden_runs)).encode() == expected
+
+    def test_golden_contains_all_three_verdict_kinds(self, golden_runs):
+        verdicts = {
+            a["verdict"]
+            for run in golden_runs
+            for check in run.checks
+            for a in check_to_dict(check)["assertions"]
+        }
+        assert verdicts == {PASS, FAIL, INCONCLUSIVE}
+
+    def test_no_inconclusive_misreported_as_pass(self, golden_runs):
+        for run in golden_runs:
+            for check in run.checks:
+                has_bad = any(
+                    o.verdict in (FAIL, INCONCLUSIVE) for o in check.outcomes
+                )
+                if has_bad:
+                    assert check.verdict != PASS
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(args) -> tuple[int, str]:
+    out = io.StringIO()
+    code = run(args, out=out)
+    return code, out.getvalue()
+
+
+class TestCheckCLI:
+    def test_registry_program_pass(self, tmp_path):
+        spec = tmp_path / "geo.spec"
+        spec.write_text("E[cost] in [1, 1]\nP(cost >= 10) <= 0.05\n")
+        code, text = _run_cli(["check", "geo", "--spec", str(spec)])
+        assert code == 0
+        assert "PASS" in text and "cantelli" in text
+
+    def test_source_file_with_at_directive(self, tmp_path):
+        bench = get("rdwalk")
+        source = tmp_path / "rdwalk.appl"
+        source.write_text(bench.source)
+        spec = tmp_path / "rdwalk.spec"
+        spec.write_text("@at d=10, x=0, t=0\nE[cost] in [19, 25]\n")
+        code, text = _run_cli(["check", str(source), "--spec", str(spec)])
+        assert code == 0, text
+
+    def test_fail_exits_nonzero(self, tmp_path):
+        spec = tmp_path / "bad.spec"
+        spec.write_text("E[cost] >= 100\n")
+        code, text = _run_cli(["check", "geo", "--spec", str(spec)])
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_strict_turns_inconclusive_into_failure(self, tmp_path):
+        spec = tmp_path / "wide.spec"
+        spec.write_text("@options moments=1\nP(cost >= 100) <= 0.5\n")
+        code, _ = _run_cli(
+            ["check", "wang-bitcoin-mining", "--spec", str(spec)]
+        )
+        assert code == 0
+        code, text = _run_cli(
+            ["check", "wang-bitcoin-mining", "--spec", str(spec), "--strict"]
+        )
+        assert code == 1
+        assert "inconclusive" in text
+
+    def test_mixed_sign_program_completes_without_crash(self, tmp_path):
+        """Regression: this used to die with `ValueError: raw moment bound
+        of a nonnegative variable is negative` inside markov_tail."""
+        spec = tmp_path / "signed.spec"
+        spec.write_text(
+            "@options moments=1\nE[cost] in [-16, -14]\nP(cost >= 100) <= 0.5\n"
+        )
+        code, text = _run_cli(
+            ["check", "wang-bitcoin-mining", "--spec", str(spec), "--json"]
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["verdict"] == INCONCLUSIVE
+        verdicts = [a["verdict"] for a in doc["assertions"]]
+        assert verdicts == [PASS, INCONCLUSIVE]
+
+    def test_json_output_parses_and_is_deterministic(self, tmp_path):
+        spec = tmp_path / "geo.spec"
+        spec.write_text("E[cost] in [1, 1]\n")
+        code1, text1 = _run_cli(["check", "geo", "--spec", str(spec), "--json"])
+        code2, text2 = _run_cli(["check", "geo", "--spec", str(spec), "--json"])
+        assert (code1, code2) == (0, 0)
+        assert text1 == text2
+        assert json.loads(text1)["verdict"] == PASS
+
+    def test_bad_usage(self, tmp_path):
+        code, text = _run_cli(["check", "geo"])
+        assert code == 2 and "--spec" in text
+        spec = tmp_path / "geo.spec"
+        spec.write_text("E[cost] <= 1\n")
+        code, text = _run_cli(
+            ["check", "geo", "--spec", str(spec), "--suite", str(tmp_path)]
+        )
+        assert code == 2
+
+    def test_suite_mode_exit_codes(self, tmp_path):
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        (suite / "geo.spec").write_text(
+            "@programs geo\nE[cost] in [1, 1]\n"
+        )
+        code, text = _run_cli(["check", "--suite", str(suite)])
+        assert code == 0
+        assert "suite: 1 pass" in text
+        (suite / "fail.spec").write_text("@programs geo\nE[cost] >= 5\n")
+        code, text = _run_cli(["check", "--suite", str(suite), "--json"])
+        assert code == 1
+        assert json.loads(text)["verdict"] == FAIL
+
+
+# ---------------------------------------------------------------------------
+# The shipped example suite: all 42 registry programs + the paper's attack
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def example_suite_result(tmp_path_factory):
+    from repro.service.cache import ArtifactCache
+
+    cache = ArtifactCache(tmp_path_factory.mktemp("cache"))
+    return run_suite(load_suite(EXAMPLES), jobs=4, cache=cache)
+
+
+class TestExampleSuite:
+    def test_covers_every_registry_program(self, example_suite_result):
+        from repro.programs.registry import all_benchmarks
+
+        covered = {
+            check.program
+            for run in example_suite_result.runs
+            for check in run.checks
+        }
+        assert covered == set(all_benchmarks())
+
+    def test_no_failures_and_no_analysis_errors(self, example_suite_result):
+        assert not example_suite_result.failed
+        for run in example_suite_result.runs:
+            for check in run.checks:
+                assert check.error is None, (check.program, check.error)
+
+    def test_inconclusives_are_only_the_signed_cost_demo(
+        self, example_suite_result
+    ):
+        inconclusive = {
+            check.program
+            for run in example_suite_result.runs
+            for check in run.checks
+            if check.verdict == INCONCLUSIVE
+        }
+        assert inconclusive == {
+            "wang-bitcoin-mining",
+            "wang-bitcoin-pool",
+            "wang-random-walk-neg",
+            "wang-pollutant",
+        }
+        # ... and every one of them is the gated tail assertion, reported
+        # inconclusive — never pass.
+        for run in example_suite_result.runs:
+            for check in run.checks:
+                if check.program in inconclusive:
+                    tail = check.outcomes[-1]
+                    assert tail.verdict == INCONCLUSIVE
+                    assert "no sound tail bound" in tail.reason
+
+    def test_timing_attack_spec_reproduces_the_paper(self, example_suite_result):
+        attack_runs = [
+            run
+            for run in example_suite_result.runs
+            if run.spec.name == "timing attack (Appendix I)"
+        ]
+        assert len(attack_runs) == 1
+        (check,) = attack_runs[0].checks
+        assert check.verdict == PASS
+        by_text = {o.assertion.text: o for o in check.outcomes}
+        attack = by_text["attack_success(bits=32, trials=10000) >= 0.219413"]
+        assert attack.evidence["lower_bound"] == pytest.approx(
+            0.219413, abs=1e-4
+        )
+        cantelli = by_text["P(cost >= 392) <= 0.36"]
+        assert cantelli.evidence["inequality"] == "cantelli"

@@ -401,6 +401,45 @@ class TestServer:
         warm_flags = {headers["X-Repro-Warm"] for _, _, headers in answers}
         assert "true" in warm_flags  # later requests hit the warm pipeline
 
+    def test_check_endpoint_round_trip(self, served):
+        server, _ = served
+        spec = (
+            "@at d=10, x=0, t=0\n"
+            "E[cost] in [19, 41]\n"
+            "stddev(cost) <= 17\n"
+            "P(cost >= 200) <= 0.05\n"
+        )
+        body = {"program": RDWALK, "spec": spec}
+        status, raw, headers = _post(server, "/check", body)
+        assert status == 200
+        payload = json.loads(raw)
+        assert payload["ok"] and payload["verdict"] == "pass"
+        verdicts = [a["verdict"] for a in payload["check"]["assertions"]]
+        assert verdicts == ["pass", "pass", "pass"]
+        assert headers["X-Repro-Warm"] == "false"
+
+        # Identical request: same bytes off the warm pipeline.
+        status, again, headers = _post(server, "/check", body)
+        assert status == 200 and again == raw
+        assert headers["X-Repro-Warm"] == "true"
+
+    def test_check_endpoint_error_statuses(self, served):
+        server, _ = served
+        status, raw, _ = _post(server, "/check", {"program": RDWALK})
+        assert status == 400 and "spec" in json.loads(raw)["error"]
+        status, raw, _ = _post(
+            server, "/check", {"spec": "E[cost] <= 1"}
+        )
+        assert status == 400 and "program" in json.loads(raw)["error"]
+        status, raw, _ = _post(
+            server, "/check", {"program": RDWALK, "spec": "E[cost] <= <="}
+        )
+        assert status == 400 and "spec" in json.loads(raw)["error"]
+        status, raw, _ = _post(
+            server, "/check", {"program": BROKEN, "spec": "E[cost] <= 1"}
+        )
+        assert status == 422 and "ValidationError" in json.loads(raw)["error"]
+
     def test_batch_endpoint_isolates_errors(self, served):
         server, _ = served
         status, raw, _ = _post(

@@ -42,6 +42,14 @@ func main() pre(d > 0) begin
 end
 """
 
+#: Policy spec matching SIMPLE at d=4 (the analyzer brackets E[C] in
+#: [d, d+1] for this loop shape), exercised over ``POST /check``.
+SPEC = """
+@at d=4, x=0
+@options moments=1
+E[cost] in [3.9, 5.1]
+"""
+
 SMOKE = os.environ.get("REPRO_SERVICE_SMOKE") == "1"
 
 
@@ -110,6 +118,10 @@ class TestInProcessSmoke:
             assert all(jobs[i].state == "dead" for i in ids[1::6])
             # The two analyze enqueues deduped onto one job.
             assert ids[0] == ids[6]
+
+            # Inline policy check rides the same warm-pipeline path.
+            verdict = _post(port, "/check", {"program": SIMPLE, "spec": SPEC})
+            assert verdict["ok"] and verdict["verdict"] == "pass"
 
             _, raw = _get(port, "/metrics")
             snap = json.loads(raw)
@@ -231,6 +243,14 @@ class TestServiceSmoke:
                 elif i % 40 == 1:
                     fail_ids.append(response["id"])
             assert len(ids) == len(set(ids)) == 200
+
+            # 1b. POST /check round trip: an inline policy check against
+            #     the live server, while the queue is under load.
+            verdict = _post(port, "/check",
+                            {"program": SIMPLE, "spec": SPEC})
+            assert verdict["ok"] and verdict["verdict"] == "pass"
+            counts = verdict["check"]["counts"]
+            assert counts["pass"] == 1 and counts["fail"] == 0
 
             # 2. SIGKILL one worker mid-drill: its lease must be retried,
             #    not lost, and the pool must respawn a replacement.

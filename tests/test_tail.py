@@ -7,11 +7,13 @@ from hypothesis import strategies as st
 from repro.rings.interval import Interval
 from repro.tail.attack import analyze_attack, paper_t0_bounds, paper_t1_bounds
 from repro.tail.bounds import (
+    best_lower_tail,
     best_upper_tail,
     cantelli_lower_tail,
     cantelli_upper_tail,
     chebyshev_tail,
     chebyshev_two_sided,
+    costs_nonnegative,
     markov_tail,
     tail_curve,
 )
@@ -36,6 +38,26 @@ class TestInequalities:
     def test_cantelli_lower(self):
         assert cantelli_lower_tail(3.0, 4.0, 1.0) == 0.25
         assert cantelli_lower_tail(3.0, 1.0, 4.0) == 1.0
+
+    def test_cantelli_guard_parity(self):
+        """Both Cantelli helpers reject a negative variance bound alike.
+
+        Regression: the lower-tail form used to silently return a
+        nonsense negative "probability" where the upper-tail form raised.
+        """
+        for bad in (-1e-9, -5.0):
+            with pytest.raises(ValueError, match="negative variance"):
+                cantelli_upper_tail(bad, 1.0, 4.0)
+            with pytest.raises(ValueError, match="negative variance"):
+                cantelli_lower_tail(bad, 4.0, 1.0)
+
+    @given(
+        st.floats(0.0, 1e6), st.floats(-1e3, 1e3), st.floats(-1e4, 1e4)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cantelli_both_sides_are_probabilities(self, v, mean, thr):
+        assert 0.0 <= cantelli_upper_tail(v, mean, thr) <= 1.0
+        assert 0.0 <= cantelli_lower_tail(v, mean, thr) <= 1.0
 
     def test_chebyshev(self):
         # C4 = 16, mean <= 1, threshold 3: 16 / 2^4 = 1 -> clipped; t=5: 16/256.
@@ -112,6 +134,175 @@ class TestBestTail:
         values = [b.best() for _, b in curve]
         assert values == sorted(values, reverse=True)
         assert curve[0][0] == 10.0
+
+    def test_entries_name_every_bound(self):
+        bounds = best_upper_tail(self.RAW, self.CENTRAL, threshold=40.0)
+        entries = bounds.entries()
+        assert [(name, k) for name, k, _ in entries] == [
+            ("markov", 1), ("markov", 2), ("markov", 3), ("markov", 4),
+            ("cantelli", 2), ("chebyshev", 4),
+        ]
+        name, order, value = bounds.best_entry()
+        assert value == bounds.best()
+        assert value == min(v for _, _, v in entries)
+
+    @given(st.floats(1.0, 1e5), st.floats(1.0, 1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_best_monotone_non_increasing_in_threshold(self, t1, t2):
+        lo_t, hi_t = min(t1, t2), max(t1, t2)
+        lo = best_upper_tail(self.RAW, self.CENTRAL, hi_t).best()
+        hi = best_upper_tail(self.RAW, self.CENTRAL, lo_t).best()
+        assert lo <= hi
+        assert 0.0 <= lo <= 1.0 and 0.0 <= hi <= 1.0
+
+
+class TestSoundnessGating:
+    """Inapplicable inequalities are skipped, not raised or recorded as
+    vacuous 1.0 entries (the signed-cost / missing-mean bugfixes)."""
+
+    def test_negative_raw_upper_no_longer_crashes(self):
+        # Regression: E[C] = [-15, -15] (wang-bitcoin-mining) used to raise
+        # `ValueError: raw moment bound of a nonnegative variable is
+        # negative` out of markov_tail.
+        raws = [Interval.point(1.0), Interval(-15.0, -15.0)]
+        bounds = best_upper_tail(raws, None, 100.0, nonnegative_cost=False)
+        assert bounds.markov == {}
+        assert bounds.best() == 1.0
+        assert bounds.best_entry() is None
+
+    def test_signed_costs_skip_odd_markov_orders(self):
+        raws = [
+            Interval.point(1.0),
+            Interval(-5.0, 5.0),
+            Interval(0.0, 100.0),
+            Interval(-500.0, 1000.0),
+        ]
+        signed = best_upper_tail(raws, None, 50.0, nonnegative_cost=False)
+        assert set(signed.markov) == {2}  # only the even order survives
+        trusted = best_upper_tail(raws, None, 50.0, nonnegative_cost=True)
+        assert set(trusted.markov) == {1, 2, 3}
+
+    def test_negative_raw_upper_skipped_even_when_nonnegative(self):
+        # A negative upper bound on E[X] for X >= 0 certifies nothing
+        # (an over-tight LP artifact must not crash the report path).
+        raws = [Interval.point(1.0), Interval(-1.0, -0.5), Interval(0.0, 4.0)]
+        bounds = best_upper_tail(raws, None, 10.0)
+        assert set(bounds.markov) == {2}
+
+    def test_missing_mean_drops_one_sided_central_bounds(self):
+        # Regression: raw of length 1 used to record cantelli = 1.0
+        # computed from mean_upper = inf, masking real evidence.
+        bounds = best_upper_tail(
+            [Interval.point(1.0)], {2: Interval(0.0, 4.0)}, 10.0
+        )
+        assert bounds.cantelli is None
+        assert bounds.chebyshev == {}
+        assert bounds.entries() == []
+        assert bounds.best() == 1.0
+
+    def test_negative_central_upper_dropped(self):
+        raws = [Interval.point(1.0), Interval(0.0, 2.0)]
+        bounds = best_upper_tail(raws, {2: Interval(-3.0, -1.0)}, 10.0)
+        assert bounds.cantelli is None
+
+    def test_lower_tail_uses_mean_lower(self):
+        raws = [Interval.point(1.0), Interval(10.0, 12.0)]
+        bounds = best_lower_tail(raws, {2: Interval(0.0, 3.0)}, 7.0)
+        # gap = mean_lo - t = 3: 3 / (3 + 9) = 0.25.
+        assert bounds.cantelli == pytest.approx(0.25)
+        assert bounds.best_entry() == ("cantelli", 2, pytest.approx(0.25))
+
+    def test_costs_nonnegative_walks_the_whole_program(self):
+        from repro.lang.parser import parse_program
+
+        positive = parse_program(
+            "func main() begin if prob(0.5) then tick(1) else tick(0) fi end"
+        )
+        assert costs_nonnegative(positive) is True
+        signed = parse_program(
+            "func main() pre(x >= 0) begin"
+            " while x < 3 inv(x >= 0) do x := x + 1; tick(-2) od end"
+        )
+        assert costs_nonnegative(signed) is False
+
+
+class TestDifferentialTails:
+    """Certified tail bounds vs. empirical tail frequencies on the seed-0
+    fuzz corpus: the empirical tail must never exceed the certified bound
+    beyond the CLT margin of the Monte-Carlo estimate."""
+
+    SAMPLES = 1500
+    CORPUS = 10
+
+    @pytest.fixture(scope="class")
+    def corpus_results(self):
+        from repro.analysis.pipeline import AnalysisOptions, AnalysisPipeline
+        from repro.interp.mc import estimate_cost_statistics
+        from repro.lang.varinfo import ValidationError
+        from repro.lp.core import LPInfeasibleError
+        from repro.programs.fuzz import generate_corpus
+
+        outcomes = []
+        for case in generate_corpus(self.CORPUS, seed=0):
+            program = case.parse()
+            options = AnalysisOptions(
+                moment_degree=case.moment_degree,
+                objective_valuations=(dict(case.valuation),),
+            )
+            try:
+                result = AnalysisPipeline(program).analyze(options)
+            except (ValidationError, LPInfeasibleError):
+                continue  # analyzer infeasibility is an accepted verdict
+            stats = estimate_cost_statistics(
+                program,
+                n=self.SAMPLES,
+                seed=1,
+                initial=case.initial,
+                degree=max(2, case.moment_degree),
+                engine="vectorized",
+            )
+            outcomes.append((case, program, result, stats))
+        return outcomes
+
+    def test_corpus_is_not_degenerate(self, corpus_results):
+        assert len(corpus_results) >= self.CORPUS // 2
+
+    def test_corpus_has_signed_cost_cases(self, corpus_results):
+        assert any(
+            not costs_nonnegative(program) for _, program, _, _ in corpus_results
+        )
+
+    def test_empirical_tail_within_certified_bound(self, corpus_results):
+        import math
+
+        # One-sided CLT margin on a frequency estimate at 5 sigma.
+        margin = 5 * 0.5 / math.sqrt(self.SAMPLES)
+        checked = 0
+        for case, program, result, stats in corpus_results:
+            raws = result.raw_intervals()
+            central = {}
+            for order in range(2, result.raw.degree + 1, 2):
+                iv = result.central_interval(order)
+                central[order] = Interval(max(iv.lo, 0.0), max(iv.hi, 0.0))
+            mean_hi = raws[1].hi
+            sd_hi = math.sqrt(max(central.get(2, Interval(0, 0)).hi, 0.0))
+            for shift in (1.0, 2.0, 4.0):
+                threshold = mean_hi + shift * (sd_hi + 1.0)
+                bounds = best_upper_tail(
+                    raws,
+                    central,
+                    threshold,
+                    nonnegative_cost=costs_nonnegative(program),
+                )
+                empirical = stats.tail_probability(threshold)
+                assert empirical <= bounds.best() + margin, (
+                    case.name,
+                    threshold,
+                    empirical,
+                    bounds.entries(),
+                )
+                checked += 1
+        assert checked > 0
 
 
 class TestAttack:
