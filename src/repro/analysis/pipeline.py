@@ -54,6 +54,13 @@ from repro.analysis.results import (
 )
 from repro.analysis.specs import SpecTable
 from repro.analysis.transformer import Deriver
+from repro import faults
+from repro.deadline import (
+    AnalysisTimeout,
+    Deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.lang.ast import Program
 from repro.lang.varinfo import ProgramInfo, analyze_program as static_info
 from repro.logic.absint import ContextMap, compute_contexts
@@ -87,6 +94,19 @@ class AnalysisOptions:
     ``0`` means one worker per CPU, ``1`` forces the in-process sequential
     path.  Parallelism never changes results, so ``lp_jobs`` is not part
     of any cache key.
+
+    ``deadline_seconds`` bounds the analysis wall-clock: a monotonic
+    :class:`~repro.deadline.Deadline` token is armed for the run and
+    checked at every stage boundary, inside both LP backends, the reduce
+    block loop, the parallel pool's parent-side wait, and vectorized MC
+    supersteps; expiry raises :class:`~repro.deadline.AnalysisTimeout`.
+    ``degrade`` opts into the graceful-degradation ladder: on timeout (or
+    an :class:`~repro.lp.core.LPError` surviving the template-restart
+    ladder) the analysis is retried at descending moment degrees, each
+    rung under a fresh budget, and the result carries a ``degraded``
+    provenance block.  Both are runtime-only knobs — like ``lp_jobs``
+    they never enter cache keys (an un-degraded result is identical with
+    or without them), and degraded results are never cached at all.
     """
 
     moment_degree: int = 2
@@ -101,12 +121,16 @@ class AnalysisOptions:
     backend: str | None = None
     lp_reduce: bool | None = None
     lp_jobs: int | None = None
+    deadline_seconds: float | None = None
+    degrade: bool = False
 
     def __post_init__(self) -> None:
         if self.moment_degree < 1:
             raise ValueError("moment_degree must be at least 1")
         if self.template_degree < 1:
             raise ValueError("template_degree must be at least 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive when set")
 
     def derivation_key(self) -> tuple:
         """The options a :class:`ConstraintSystem` depends on."""
@@ -431,8 +455,32 @@ class AnalysisPipeline:
         (stage ``"result"``), so a fully warm analysis is one content hash
         plus one store read — and every caller (CLI, server, batch worker)
         sees the identical result object for identical inputs.
+
+        ``options.deadline_seconds`` arms a :class:`~repro.deadline.Deadline`
+        for the run; ``options.degrade`` falls back to lower moment degrees
+        on timeout or solver failure (see :meth:`_degraded_analyze`).
         """
         options = options or AnalysisOptions()
+        try:
+            return self._deadlined_analyze(options)
+        except AnalysisTimeout as exc:
+            if not options.degrade or options.moment_degree <= 1:
+                raise
+            start = min(max(exc.lex_completed, 1), options.moment_degree - 1)
+            return self._degraded_analyze(options, exc, start)
+        except LPError as exc:
+            if not options.degrade or options.moment_degree <= 1:
+                raise
+            return self._degraded_analyze(options, exc, options.moment_degree - 1)
+
+    def _deadlined_analyze(self, options: AnalysisOptions) -> MomentBoundResult:
+        """One attempt at the requested degree, under the armed deadline."""
+        if options.deadline_seconds is None:
+            return self._cached_analyze(options)
+        with deadline_scope(Deadline(options.deadline_seconds)):
+            return self._cached_analyze(options)
+
+    def _cached_analyze(self, options: AnalysisOptions) -> MomentBoundResult:
         key = options.result_key(self._objective_valuations(options))
         cached = self._results.get(key)
         if cached is None:
@@ -442,10 +490,58 @@ class AnalysisPipeline:
             self._results[key] = cached
         return cached
 
+    def _degraded_analyze(
+        self,
+        options: AnalysisOptions,
+        cause: Exception,
+        start_degree: int,
+    ) -> MomentBoundResult:
+        """Graceful degradation: retry at descending moment degrees.
+
+        Each rung runs the full pipeline at a lower ``moment_degree`` with a
+        *fresh* deadline budget (the token from the failed attempt is
+        exhausted by definition).  The first rung that solves yields a copy
+        of its result carrying a ``degraded`` provenance block; assertions
+        above the degraded degree evaluate to inconclusive downstream (the
+        policy evaluator reads the provenance).  Degraded results are never
+        written to the instance or artifact caches: the cache key describes
+        the *requested* analysis, and a later retry with more budget must
+        not be poisoned by a past timeout.
+
+        If every rung fails, the original failure is re-raised.
+        """
+        import copy
+
+        for degree in range(start_degree, 0, -1):
+            rung = replace(options, moment_degree=degree, degrade=False)
+            try:
+                result = self._deadlined_analyze(rung)
+            except (AnalysisTimeout, LPError):
+                continue
+            degraded = copy.copy(result)
+            degraded.degraded = {
+                "requested_degree": options.moment_degree,
+                "degree": degree,
+                "cause": type(cause).__name__,
+                "error": str(cause),
+            }
+            return degraded
+        raise cause
+
+    def _stage_boundary(self, stage: str) -> None:
+        """Fault-injection + deadline check at a pipeline stage boundary."""
+        faults.check("pipeline.stage")
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(stage)
+
     def _analyze_uncached(self, options: AnalysisOptions) -> MomentBoundResult:
         start = time.perf_counter()
+        self._stage_boundary("derive")
         system = self.constraint_system(options)
+        self._stage_boundary("solve")
         staged = self.solve(options)
+        self._stage_boundary("resolve")
         values = staged.solution.values
 
         resolved = resolve_annotation(system.main_pre, values)
@@ -717,7 +813,15 @@ def _lexicographic_solve(
         # coefficients, and HiGHS is sensitive to objective scaling.
         scale = max(abs(c) for c in obj.terms.values())
         scaled = obj * (1.0 / scale)
-        solution = lp.solve(scaled, bound=options.lp_bound, reduce=reduce, jobs=jobs)
+        try:
+            solution = lp.solve(
+                scaled, bound=options.lp_bound, reduce=reduce, jobs=jobs
+            )
+        except AnalysisTimeout as exc:
+            # Stage k bounds the k-th moment: record how many moments were
+            # fully solved so the degradation ladder can start there.
+            exc.lex_completed = len(objective_values)
+            raise
         objective_values.append(solution.objective * scale)
         statuses.append(solution.status)
         scales.append(scale)

@@ -86,6 +86,12 @@ class MomentBoundResult:
     lp_constraints: int = 0
     solve_seconds: float = 0.0
     soundness: "object | None" = None
+    #: Graceful-degradation provenance: ``None`` for a full-fidelity result;
+    #: otherwise ``{"requested_degree", "degree", "cause", "error"}`` — the
+    #: analysis fell back to ``degree`` moments after the requested degree
+    #: timed out or failed.  Only emitted in :meth:`to_dict` when set, so
+    #: un-degraded results stay byte-identical to pre-degradation output.
+    degraded: dict | None = None
 
     # -- numeric queries -----------------------------------------------------------
 
@@ -158,7 +164,7 @@ class MomentBoundResult:
         if self.raw.degree >= 2:
             var = self.variance()
             evaluated["V[C]"] = [var.lo, var.hi]
-        return {
+        out = {
             "moments": self.raw.degree,
             "raw_bounds": {
                 str(k): {"lower": self.lower_str(k), "upper": self.upper_str(k)}
@@ -177,6 +183,9 @@ class MomentBoundResult:
             "lp_constraints": self.lp_constraints,
             "solve_seconds": self.solve_seconds,
         }
+        if self.degraded is not None:
+            out["degraded"] = self.degraded
+        return out
 
     def summary(self) -> str:
         lines = [
@@ -184,6 +193,12 @@ class MomentBoundResult:
             f"{self.lp_variables} LP vars, {self.lp_constraints} constraints, "
             f"{self.solve_seconds:.3f}s)"
         ]
+        if self.degraded is not None:
+            lines.append(
+                f"  DEGRADED: {self.degraded['degree']} of "
+                f"{self.degraded['requested_degree']} requested moments "
+                f"({self.degraded['cause']})"
+            )
         if self.lp_reduction:
             red = self.lp_reduction
             lines.append(

@@ -37,6 +37,14 @@ performance work.  ``--no-lp-reduce`` (``analyze``, ``batch``, ``fuzz``)
 bypasses the reduction layer for this run, mirroring the process-wide
 ``REPRO_DISABLE_LP_REDUCE`` switch.
 
+``--deadline SECONDS`` (``analyze``, ``fuzz``) caps analysis wall clock:
+``analyze`` fails fast with an analysis-deadline error (exit code 2), or —
+with ``--degrade`` — falls back to the highest fully-solved moment degree
+and marks the result as degraded; ``fuzz`` classifies over-deadline cases
+as ``analysis-timeout`` instead of stalling the corpus.  ``serve
+--job-timeout SECONDS`` caps each queued job's runtime by letting a hung
+job's lease expire for re-delivery (see :mod:`repro.service.jobs`).
+
 ``--cache-dir`` (``analyze``, ``batch``, ``serve``) attaches the
 content-addressed artifact cache at the given directory, so repeated
 analyses of unchanged programs — across commands, processes, and sessions —
@@ -57,6 +65,7 @@ from repro import (
     estimate_cost_statistics,
     parse_program,
 )
+from repro.deadline import AnalysisTimeout
 from repro.lp.backends import available_backends
 
 
@@ -145,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument(
         "--simulate", type=int, default=0, metavar="N",
         help="cross-check with N Monte-Carlo runs",
+    )
+    analyze_cmd.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the analysis; past it the run fails "
+        "with an AnalysisTimeout (or degrades, with --degrade)",
+    )
+    analyze_cmd.add_argument(
+        "--degrade", action="store_true",
+        help="on timeout or LP failure, fall back to the highest moment "
+        "degree that fully solves instead of failing (the result carries "
+        "a DEGRADED provenance line)",
     )
     analyze_cmd.add_argument(
         "--profile", nargs="?", const=10, type=int, default=None, metavar="N",
@@ -288,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump violating programs as generated, without shrinking",
     )
     fuzz_cmd.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-case wall-clock deadline (analysis and simulation each); "
+        "cases past it classify as analysis-timeout instead of stalling "
+        "the corpus",
+    )
+    fuzz_cmd.add_argument(
         "--jobs", "--workers", type=int, default=None, metavar="N", dest="jobs",
         help="concurrent analyses (default: min(8, #cases))",
     )
@@ -333,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queued", type=int, default=None, metavar="N",
         help="backpressure: reject new jobs with HTTP 429 once the queue "
         "depth (queued + leased) reaches N (default unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job runtime cap: past it the worker stops heartbeating "
+        "so a hung job's lease expires and the job is re-delivered "
+        "(a job payload's 'timeout' key overrides it; default uncapped)",
     )
     _add_cache_flag(serve_cmd)
 
@@ -416,6 +448,8 @@ def _run_analyze(args, out) -> int:
         backend=args.backend,
         lp_reduce=False if args.no_lp_reduce else None,
         lp_jobs=args.lp_jobs,
+        deadline_seconds=args.deadline,
+        degrade=args.degrade,
     )
     pipeline = AnalysisPipeline(program, artifacts=_make_cache(args))
     if args.profile is not None:
@@ -772,6 +806,7 @@ def _run_fuzz(args, out) -> int:
         z=args.z,
         max_steps=args.max_steps,
         minimize=not args.no_minimize,
+        deadline_seconds=args.deadline,
     )
     cache = _make_cache(args)
     combined = DifferentialReport()
@@ -823,6 +858,7 @@ def _run_serve(args, out) -> int:
         workers=args.workers,
         visibility=args.visibility,
         max_queued=args.max_queued,
+        job_timeout=args.job_timeout,
         out=out,
     )
 
@@ -945,17 +981,21 @@ def _run_jobs(args, out) -> int:
 
 def run(argv: list[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "batch":
-        return _run_batch(args, out)
-    if args.command == "check":
-        return _run_check(args, out)
-    if args.command == "fuzz":
-        return _run_fuzz(args, out)
-    if args.command == "serve":
-        return _run_serve(args, out)
-    if args.command == "jobs":
-        return _run_jobs(args, out)
-    return _run_analyze(args, out)
+    try:
+        if args.command == "batch":
+            return _run_batch(args, out)
+        if args.command == "check":
+            return _run_check(args, out)
+        if args.command == "fuzz":
+            return _run_fuzz(args, out)
+        if args.command == "serve":
+            return _run_serve(args, out)
+        if args.command == "jobs":
+            return _run_jobs(args, out)
+        return _run_analyze(args, out)
+    except AnalysisTimeout as exc:
+        print(f"error: {exc}", file=out)
+        return 2
 
 
 def main() -> None:

@@ -40,6 +40,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.deadline import AnalysisTimeout, current_deadline
 from repro.lang.ast import (
     And,
     Assign,
@@ -429,7 +430,13 @@ class VectorizedMachine:
         # addresses the full-size arrays.  The compact state is scattered
         # back at the end of the superstep.
         live = np.arange(n)
+        deadline = current_deadline()
         while live.size:
+            # Superstep granularity is the natural check boundary: cohorts
+            # are pure NumPy inside, so this is the innermost point an
+            # ambient deadline can interrupt the simulation.
+            if deadline is not None:
+                deadline.check("mc.superstep")
             live_pcs = pcs[live]
             order = np.argsort(live_pcs, kind="stable")
             rows_sorted = live[order]

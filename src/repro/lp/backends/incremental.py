@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.deadline import AnalysisTimeout, current_deadline
 from repro.lp.backends.base import EQ, GE, Checkpoint, LPBackend, rung_status
 from repro.lp.core import LPError, LPInfeasibleError, LPSolution
 
@@ -138,6 +139,10 @@ class IncrementalBackend(LPBackend):
         self._cold_seconds: float | None = None
         self._avoid_warm = False
         self._basis_valid = False
+        # Whether the persistent model currently carries a finite HiGHS
+        # ``time_limit`` (set from an armed deadline); cleared back to
+        # infinity before the next un-deadlined solve.
+        self._time_limited = False
 
     def __getstate__(self):
         """Serialization hook for the artifact cache: the native HiGHS
@@ -153,6 +158,7 @@ class IncrementalBackend(LPBackend):
             _cold_seconds=None,
             _avoid_warm=False,
             _basis_valid=False,
+            _time_limited=False,
         )
         return state
 
@@ -243,6 +249,7 @@ class IncrementalBackend(LPBackend):
         self._cold_seconds = None
         self._avoid_warm = False
         self._basis_valid = False
+        self._time_limited = False
 
     def _append_new_rows(self, kind: str) -> None:
         buf = self._buffers[kind]
@@ -311,7 +318,10 @@ class IncrementalBackend(LPBackend):
             (regularization, min(bound, 1e9)),
             (100 * regularization, min(bound, 1e8)),
         ]
+        deadline = current_deadline()
         for reg, box in attempts:
+            if deadline is not None:
+                deadline.check("lp.solve")
             self._ensure_model(problem, n, box)
             cost = base_cost
             if reg and objective is not None:
@@ -324,6 +334,16 @@ class IncrementalBackend(LPBackend):
                     cost[nonneg_list] += reg
             h = self._h
             h.changeColsCost(n, np.arange(n, dtype=np.int32), cost)
+            if deadline is not None:
+                # Budget cap inside HiGHS itself: a wedged simplex returns
+                # kTimeLimit instead of running forever.
+                h.setOptionValue(
+                    "time_limit", max(deadline.remaining(), 1e-3)
+                )
+                self._time_limited = True
+            elif self._time_limited:
+                h.setOptionValue("time_limit", _hs.kHighsInf)
+                self._time_limited = False
             warm = self._basis_valid
             if warm and self._avoid_warm:
                 h.clearSolver()  # discard the basis; presolve runs again
@@ -333,6 +353,16 @@ class IncrementalBackend(LPBackend):
             h.run()
             elapsed = time.perf_counter() - started
             status = h.getModelStatus()
+            if (
+                deadline is not None
+                and status == _hs.HighsModelStatus.kTimeLimit
+            ):
+                # The interrupted model holds a partial basis; start cold
+                # if anything solves after the timeout is handled.
+                self._h = None
+                raise AnalysisTimeout(
+                    "lp.solve", deadline.elapsed(), deadline.timings
+                )
             if status == _hs.HighsModelStatus.kOptimal:
                 # Only successful runs inform the adaptive policy — failed
                 # attempts have meaningless timings.

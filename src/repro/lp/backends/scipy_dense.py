@@ -14,6 +14,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from repro.deadline import AnalysisTimeout, current_deadline
 from repro.lp.backends.base import EQ, GE, Checkpoint, LPBackend, rung_status
 from repro.lp.core import LPError, LPInfeasibleError, LPSolution
 
@@ -132,8 +133,15 @@ class ScipyDenseBackend(LPBackend):
             (100 * regularization, min(bound, 1e8), "highs"),
             (0.0, bound, "highs-ipm"),
         ]
+        deadline = current_deadline()
         result = None
         for reg, box, method in attempts:
+            solver_options = None
+            if deadline is not None:
+                # Budget cap: expiry between attempts raises, and each
+                # linprog call is capped at the remaining wall-clock.
+                deadline.check("lp.solve")
+                solver_options = {"time_limit": max(deadline.remaining(), 1e-3)}
             cost = base_cost.copy()
             if reg and objective is not None:
                 for idx in nonneg:
@@ -147,6 +155,7 @@ class ScipyDenseBackend(LPBackend):
                 b_eq=b_eq if eq_rows else None,
                 bounds=bounds,
                 method=method,
+                options=solver_options,
                 **kwargs,
             )
             if result.status == 2 and box == bound:
@@ -158,6 +167,10 @@ class ScipyDenseBackend(LPBackend):
             if result.success:
                 break
         if not result.success:
+            if deadline is not None and deadline.expired():
+                raise AnalysisTimeout(
+                    "lp.solve", deadline.elapsed(), deadline.timings
+                )
             raise LPError(f"LP solver failed: {result.message}")
         value = float(result.fun) + (objective_const if minimize else -objective_const)
         if not minimize:

@@ -56,6 +56,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
+from repro.deadline import AnalysisTimeout, Deadline, deadline_scope
 from repro.lp.backends.base import EQ, GE, get_backend
 from repro.lp.core import LPError, LPInfeasibleError
 
@@ -171,6 +173,13 @@ class BlockTask:
     #: next stage cold-starts on either path).
     cleanup: bool = False
     pin: "tuple | None" = None  # (terms, const) GE row, or None
+    #: Remaining wall-clock budget (seconds) snapshotted from the parent's
+    #: deadline at dispatch, or ``None`` for unbounded solves.  Workers are
+    #: separate processes and cannot see the parent's deadline contextvar,
+    #: so the budget rides on the task: the worker arms a fresh
+    #: :class:`~repro.deadline.Deadline` from it around the solve and
+    #: replies ``("timeout", ...)`` on expiry.
+    budget: "float | None" = None
 
     def payload_bytes(self) -> int:
         total = 0
@@ -240,6 +249,9 @@ def _worker_main(conn) -> None:
             _TEST_WORKER_HOOK(task)
         started = time.perf_counter()
         try:
+            # Inside the try so an injected fault travels home as a typed
+            # error reply instead of killing the worker process.
+            faults.check("lp.worker_ipc")
             entry = cache.pop(task.key, None)
             if entry is None:
                 backend = get_backend(task.backend_name)
@@ -252,11 +264,28 @@ def _worker_main(conn) -> None:
             cache[task.key] = (backend, shim, eq_rows, ge_rows)
             while len(cache) > _WORKER_CACHE_LIMIT:
                 cache.pop(next(iter(cache)))
-            if task.cleanup:
-                checkpoint = backend.checkpoint()
-                if task.pin is not None:
-                    backend.add_row(GE, task.pin[0], task.pin[1])
-                try:
+            budget = (
+                Deadline(max(task.budget, 1e-3))
+                if task.budget is not None
+                else None
+            )
+            with deadline_scope(budget):
+                if task.cleanup:
+                    checkpoint = backend.checkpoint()
+                    if task.pin is not None:
+                        backend.add_row(GE, task.pin[0], task.pin[1])
+                    try:
+                        solution = backend.solve(
+                            shim,
+                            task.objective,
+                            0.0,
+                            task.minimize,
+                            task.bound,
+                            task.regularization,
+                        )
+                    finally:
+                        backend.rollback(checkpoint)
+                else:
                     solution = backend.solve(
                         shim,
                         task.objective,
@@ -265,23 +294,14 @@ def _worker_main(conn) -> None:
                         task.bound,
                         task.regularization,
                     )
-                finally:
-                    backend.rollback(checkpoint)
-            else:
-                solution = backend.solve(
-                    shim,
-                    task.objective,
-                    0.0,
-                    task.minimize,
-                    task.bound,
-                    task.regularization,
-                )
             reply = (
                 "ok",
                 solution.values,
                 solution.status,
                 time.perf_counter() - started,
             )
+        except AnalysisTimeout:
+            reply = ("timeout", time.perf_counter() - started)
         except LPInfeasibleError as exc:
             reply = ("infeasible", str(exc), time.perf_counter() - started)
         except Exception as exc:  # noqa: BLE001 - typed marker, parent re-raises
@@ -323,6 +343,7 @@ class WorkerPool:
         self.tasks_dispatched = 0
         self.crashes = 0
         self.respawns = 0
+        self.timeouts = 0
         for _ in range(jobs):
             self._spawn()
 
@@ -358,15 +379,25 @@ class WorkerPool:
     def route(self, uid: int) -> int:
         return uid % self.jobs
 
-    def solve_all(self, tasks: "list[BlockTask]") -> list:
+    def solve_all(
+        self, tasks: "list[BlockTask]", timeout: "float | None" = None
+    ) -> list:
         """Dispatch tasks to their sticky workers; gather all replies.
 
         Returns one reply tuple per task, in task order.  Worker death
         surfaces as a ``("crashed", ...)`` reply for every task that was
         assigned to the dead worker; the worker is respawned before
         returning so the pool stays at full strength.
+
+        ``timeout`` bounds the total wall-clock wait (seconds).  Workers
+        normally time themselves out via the task budget and reply
+        ``("timeout", ...)``; the parent-side bound is the safety net for
+        a worker wedged inside a native solve that never returns — past it
+        the worker is killed outright, its outstanding tasks resolve to
+        ``("timeout", None)``, and a fresh worker is spawned in its place.
         """
         with self._lock:
+            cutoff = None if timeout is None else time.monotonic() + timeout
             by_worker: dict[int, list[int]] = {}
             for i, task in enumerate(tasks):
                 by_worker.setdefault(self.route(task.key[-1]), []).append(i)
@@ -383,9 +414,14 @@ class WorkerPool:
                 conn = self._conns[wid]
                 proc = self._procs[wid]
                 dead = False
+                timed_out = False
                 for i in indices:
                     if dead:
-                        replies[i] = ("crashed", proc.exitcode)
+                        replies[i] = (
+                            ("timeout", None)
+                            if timed_out
+                            else ("crashed", proc.exitcode)
+                        )
                         continue
                     while True:
                         if conn.poll(_POLL_SECONDS):
@@ -400,10 +436,26 @@ class WorkerPool:
                                 continue
                             dead = True
                             break
-                    if dead:
-                        replies[i] = ("crashed", proc.exitcode)
+                        if cutoff is not None and time.monotonic() > cutoff:
+                            # Wedged-but-alive worker past the deadline:
+                            # kill it — a native solve that ignores its
+                            # budget cannot be interrupted any other way.
+                            proc.kill()
+                            proc.join(timeout=5)
+                            dead = True
+                            timed_out = True
+                            break
+                    if dead and replies[i] is None:
+                        replies[i] = (
+                            ("timeout", None)
+                            if timed_out
+                            else ("crashed", proc.exitcode)
+                        )
                 if dead:
-                    self.crashes += 1
+                    if timed_out:
+                        self.timeouts += 1
+                    else:
+                        self.crashes += 1
                     self._respawn(wid)
             return replies
 
@@ -427,6 +479,7 @@ class WorkerPool:
             "tasks_dispatched": self.tasks_dispatched,
             "crashes": self.crashes,
             "respawns": self.respawns,
+            "timeouts": self.timeouts,
         }
 
 

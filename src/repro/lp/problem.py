@@ -241,6 +241,9 @@ class LPProblem:
         effect on unreduced solves and never changes results — callers
         resolve it via :func:`repro.lp.parallel.resolve_jobs`.
         """
+        from repro import faults
+
+        faults.check("lp.solve")
         terms = None
         const = 0.0
         if objective is not None:

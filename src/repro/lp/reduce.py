@@ -63,6 +63,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.deadline import AnalysisTimeout, current_deadline
 from repro.lp.backends.base import EQ, GE, Checkpoint
 from repro.lp.core import LPError, LPInfeasibleError, LPSolution
 
@@ -912,7 +913,13 @@ class ReducedSolver:
     ) -> dict[int, LPSolution]:
         solutions: dict[int, LPSolution] = {}
         avoid_warm_hint = False
+        deadline = current_deadline()
         for lid, block, local_obj in pending:
+            if deadline is not None:
+                # Between-block boundary: each block solve also caps itself
+                # via the backend, but a long block chain must not overshoot
+                # the budget by a whole block.
+                deadline.check("lp.block")
             if avoid_warm_hint and hasattr(block.backend, "_avoid_warm"):
                 # A sibling block just learned that warm re-solves lose to
                 # presolved cold solves on this reduced core; blocks of one
@@ -950,11 +957,19 @@ class ReducedSolver:
             return self._solve_blocks_sequential(
                 pending, minimize, bound, regularization
             )
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("lp.block")
         build_started = time.perf_counter()
         pool = par.ensure_pool(jobs)
         backend_name = type(self.problem.backend).name
         tasks = []
         payload = 0
+        # Workers run in separate processes and cannot read the parent's
+        # deadline contextvar: the task carries a numeric remaining-budget
+        # snapshot for the in-worker solver cap, and ``solve_all`` enforces
+        # the same budget parent-side (killing a wedged worker outright).
+        budget = deadline.remaining() if deadline is not None else None
         for lid, block, local_obj in pending:
             nonneg = block.shim.nonneg_indices
             task = par.BlockTask(
@@ -968,18 +983,23 @@ class ReducedSolver:
                 minimize=minimize,
                 bound=bound,
                 regularization=regularization,
+                budget=budget,
             )
             payload += task.payload_bytes()
             tasks.append(task)
         serialize_seconds = time.perf_counter() - build_started
         dispatch_started = time.perf_counter()
-        replies = pool.solve_all(tasks)
+        # Parent-side safety net: workers self-limit via the task budget,
+        # but a wedged native solve never returns — give it a short grace
+        # past the budget, then ``solve_all`` kills and respawns it.
+        wait = None if budget is None else budget + 2.0
+        replies = pool.solve_all(tasks, timeout=wait)
         wall = time.perf_counter() - dispatch_started
 
         solutions: dict[int, LPSolution] = {}
         worker_seconds: dict[int, float] = {}
         worker_blocks: dict[int, int] = {}
-        failure: LPError | None = None
+        failure: Exception | None = None
         for (lid, block, _obj), reply in zip(pending, replies):
             tag = reply[0]
             wid = pool.route(block.uid)
@@ -996,6 +1016,12 @@ class ReducedSolver:
                 failure = LPInfeasibleError(
                     reply[1] or "LP infeasible (parallel block solve)",
                     diagnostics=self.problem.infeasibility_diagnostics(),
+                )
+            elif tag == "timeout":
+                failure = AnalysisTimeout(
+                    "lp.block.parallel",
+                    deadline.elapsed() if deadline is not None else wall,
+                    deadline.timings if deadline is not None else None,
                 )
             elif tag == "crashed":
                 failure = par.WorkerCrashError(

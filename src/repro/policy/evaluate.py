@@ -155,16 +155,30 @@ class _Evaluator:
         self.result = result
         self.valuation = valuation
         self.nonnegative_cost = nonnegative_cost
+        # A gracefully degraded result's ``raw.degree`` is already the
+        # *delivered* degree, so every assertion above it lands here and
+        # can only be inconclusive — a degraded analysis never upgrades a
+        # missing moment into a pass.
         self.degree = result.raw.degree
+        self.degraded = result.degraded
 
     def _needs_degree(self, order: int) -> "tuple[Interval, dict, str] | None":
         if order > self.degree:
-            return (
-                Interval(-math.inf, math.inf),
-                {"kind": "unavailable", "required_degree": order},
-                f"needs moment degree {order}, analysis bounded degree "
-                f"{self.degree} (re-run with moments={order})",
-            )
+            evidence: dict = {"kind": "unavailable", "required_degree": order}
+            if self.degraded is not None:
+                evidence["degraded"] = self.degraded
+                reason = (
+                    f"needs moment degree {order}, but the analysis "
+                    f"degraded to {self.degree} of "
+                    f"{self.degraded['requested_degree']} requested moments "
+                    f"({self.degraded['cause']})"
+                )
+            else:
+                reason = (
+                    f"needs moment degree {order}, analysis bounded degree "
+                    f"{self.degree} (re-run with moments={order})"
+                )
+            return Interval(-math.inf, math.inf), evidence, reason
         return None
 
     def raw_moment(self, q: RawMoment):
@@ -259,12 +273,10 @@ def evaluate_assertion(
         # (monotone for b >= 0; a negative bound decides immediately).
         variance = evaluator.variance_interval()
         if variance is None:
-            return AssertionOutcome(
-                assertion,
-                INCONCLUSIVE,
-                {"kind": "unavailable", "required_degree": 2},
-                "stddev needs moment degree 2 (re-run with moments=2)",
-            )
+            missing = evaluator._needs_degree(2)
+            assert missing is not None
+            _, evidence, reason = missing
+            return AssertionOutcome(assertion, INCONCLUSIVE, evidence, reason)
         evidence = {
             "kind": "stddev",
             "variance_interval": _interval_json(variance),

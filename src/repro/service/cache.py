@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.lang.ast import Program
 from repro.lang.printer import canonical_program
 
@@ -80,6 +81,11 @@ class CacheStats:
     #: Disk entries that failed to load (corrupt/truncated/wrong version)
     #: and were discarded.
     discarded: int = 0
+    #: The subset of ``discarded`` whose *bytes* were bad — unpicklable or
+    #: integrity-mismatched blobs, as opposed to cleanly-readable entries
+    #: from an older cache format.  A nonzero value means the disk (or a
+    #: writer) is actively corrupting data, not just aging out.
+    corrupt_discarded: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -89,6 +95,7 @@ class CacheStats:
             "writes": self.writes,
             "evictions": self.evictions,
             "discarded": self.discarded,
+            "corrupt_discarded": self.corrupt_discarded,
         }
 
 
@@ -183,16 +190,23 @@ class ArtifactCache:
             return None
         path = self._path(key)
         try:
+            # An injected read fault degrades exactly like a real disk
+            # error: the lookup becomes a miss and the stage recomputes.
+            faults.check("cache.read")
             blob = path.read_bytes()
-        except OSError:
+        except (faults.FaultInjected, OSError):
             return None
+        blob = faults.corrupt("cache.read", blob)
+        corrupt = True
         try:
             entry = pickle.loads(blob)
+            corrupt = not (
+                isinstance(entry, _Entry) and entry.key == key
+            )
             if (
-                isinstance(entry, _Entry)
+                not corrupt
                 and entry.format == CACHE_FORMAT
                 and entry.stage == stage
-                and entry.key == key
             ):
                 return entry.payload
         except Exception:
@@ -201,6 +215,8 @@ class ArtifactCache:
         # slot is rewritten cleanly after the recompute.
         with self._lock:
             self.stats.discarded += 1
+            if corrupt:
+                self.stats.corrupt_discarded += 1
         try:
             path.unlink()
         except OSError:
@@ -216,6 +232,14 @@ class ArtifactCache:
             blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return  # unpicklable payload: memory-only artifact
+        try:
+            # Injected write faults mirror a full/read-only disk; injected
+            # byte corruption is caught (and the entry discarded) by the
+            # integrity checks on the next read.
+            faults.check("cache.write")
+        except faults.FaultInjected:
+            return
+        blob = faults.corrupt("cache.write", blob)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

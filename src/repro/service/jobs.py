@@ -28,7 +28,10 @@ Job kinds:
   (the HTTP/CLI vocabulary of :func:`options_from_dict`); the result is
   the same document ``POST /analyze`` returns.
 * ``sleep`` — payload ``{"seconds": s}``: a deterministic-duration job for
-  smoke tests and fleet diagnostics.
+  smoke tests and fleet diagnostics.  Any payload's ``timeout`` key caps
+  the job's runtime (overriding the worker's ``--job-timeout`` default):
+  past the cap the heartbeat stops extending the lease, so a hung job is
+  reclaimed and re-delivered instead of holding its worker hostage.
 * ``fail`` — payload ``{"message": m, "retryable": bool}``: always fails;
   exercises the retry/dead-letter path end to end.
 """
@@ -43,6 +46,7 @@ import time
 import uuid
 
 from repro.analysis.pipeline import AnalysisOptions, AnalysisPipeline
+from repro.deadline import AnalysisTimeout
 from repro.lang.parser import ParseError, parse_program
 from repro.lang.varinfo import ValidationError
 from repro.lp.core import LPInfeasibleError
@@ -64,7 +68,14 @@ _OPTION_KEYS = {
     "lp_bound",
     "lp_reduce",
     "check",
+    "deadline",
+    "degrade",
 }
+
+#: Substring of every :class:`~repro.deadline.AnalysisTimeout` message; a
+#: redelivered job whose recorded error contains it already burned one
+#: full-deadline attempt on a timeout (see :func:`effective_options`).
+_TIMEOUT_MARKER = "analysis deadline exceeded"
 
 
 class RequestError(ValueError):
@@ -110,6 +121,11 @@ def options_from_dict(data: "dict | None") -> AnalysisOptions:
         lp_reduce = data.get("lp_reduce")
         if lp_reduce is not None:
             lp_reduce = bool(lp_reduce)
+        deadline = data.get("deadline")
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise RequestError("options.deadline must be positive seconds")
         return AnalysisOptions(
             moment_degree=int(data.get("moments", 2)),
             template_degree=int(data.get("degree", 1)),
@@ -124,6 +140,8 @@ def options_from_dict(data: "dict | None") -> AnalysisOptions:
             lp_bound=float(data.get("lp_bound", 1e12)),
             backend=data.get("backend"),
             lp_reduce=lp_reduce,
+            deadline_seconds=deadline,
+            degrade=bool(data.get("degrade", False)),
         )
     except RequestError:
         raise
@@ -160,6 +178,10 @@ def options_to_dict(options: AnalysisOptions) -> dict:
         out["backend"] = options.backend
     if options.lp_reduce is not None:
         out["lp_reduce"] = options.lp_reduce
+    if options.deadline_seconds is not None:
+        out["deadline"] = options.deadline_seconds
+    if options.degrade:
+        out["degrade"] = True
     return out
 
 
@@ -252,6 +274,26 @@ class JobFailure(Exception):
         self.retryable = retryable
 
 
+def _timed_out_before(job: Job) -> bool:
+    """Did an earlier delivery of this job fail on its analysis deadline?"""
+    return _TIMEOUT_MARKER in (job.error or "")
+
+
+def effective_options(job: Job, options: AnalysisOptions) -> AnalysisOptions:
+    """Apply the redelivery deadline ladder to a job's analysis options.
+
+    A job redelivered after a deadline timeout runs its one retry at *half*
+    the deadline: the first attempt proved the full budget insufficient, so
+    the retry exists to catch transient slowness (cold caches, machine
+    load), not to burn the same wall-clock again.  A second timeout
+    dead-letters the job (see :func:`execute_job`)."""
+    from dataclasses import replace
+
+    if options.deadline_seconds is None or not _timed_out_before(job):
+        return options
+    return replace(options, deadline_seconds=options.deadline_seconds / 2.0)
+
+
 def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
     """Run one job to its JSON result document (raises on failure).
 
@@ -268,7 +310,7 @@ def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
                 f"program does not parse: {exc}", retryable=False
             ) from exc
         try:
-            options = options_from_dict(payload.get("options"))
+            options = effective_options(job, options_from_dict(payload.get("options")))
         except RequestError as exc:
             raise JobFailure(str(exc), retryable=False) from exc
         pipeline = AnalysisPipeline(program, artifacts=cache)
@@ -279,6 +321,12 @@ def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
             # so the job dead-letters on the first delivery.
             raise JobFailure(
                 f"{type(exc).__name__}: {exc}", retryable=False
+            ) from exc
+        except AnalysisTimeout as exc:
+            # First timeout: retryable (the redelivery runs at half the
+            # deadline, see effective_options).  Second: dead-letter.
+            raise JobFailure(
+                f"AnalysisTimeout: {exc}", retryable=not _timed_out_before(job)
             ) from exc
         return {
             "ok": True,
@@ -304,7 +352,9 @@ def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
         except SpecParseError as exc:
             raise JobFailure(f"spec does not parse: {exc}", retryable=False) from exc
         try:
-            options = check_options(spec, payload.get("options"))
+            options = effective_options(
+                job, check_options(spec, payload.get("options"))
+            )
         except RequestError as exc:
             raise JobFailure(str(exc), retryable=False) from exc
         pipeline = AnalysisPipeline(program, artifacts=cache)
@@ -313,6 +363,10 @@ def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
         except (ValidationError, LPInfeasibleError) as exc:
             raise JobFailure(
                 f"{type(exc).__name__}: {exc}", retryable=False
+            ) from exc
+        except AnalysisTimeout as exc:
+            raise JobFailure(
+                f"AnalysisTimeout: {exc}", retryable=not _timed_out_before(job)
             ) from exc
         check = evaluate_spec(
             spec,
@@ -346,15 +400,31 @@ def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
 
 
 class _Heartbeat:
-    """Extends the lease of the in-flight job every ``interval`` seconds."""
+    """Extends the lease of the in-flight job every ``interval`` seconds.
+
+    ``max_runtime`` caps how long the beats keep the job alive: a wedged
+    job (infinite loop, stuck native call) used to heartbeat forever and
+    hold its lease until the worker was killed by hand.  Past the cap the
+    thread stops extending, the lease runs out, and the store re-delivers
+    (or, after a nack budget, dead-letters) the job — the stuck *process*
+    is still stuck, but the *job* is no longer hostage to it.
+    """
 
     def __init__(
-        self, store: JobStore, job_id: int, owner: str, visibility: float
+        self,
+        store: JobStore,
+        job_id: int,
+        owner: str,
+        visibility: float,
+        max_runtime: "float | None" = None,
     ) -> None:
         self._store = store
         self._job_id = job_id
         self._owner = owner
         self._visibility = visibility
+        self._cutoff = (
+            None if max_runtime is None else time.monotonic() + max_runtime
+        )
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
@@ -362,6 +432,8 @@ class _Heartbeat:
     def _run(self) -> None:
         interval = max(self._visibility / 3.0, 0.05)
         while not self._stop.wait(interval):
+            if self._cutoff is not None and time.monotonic() >= self._cutoff:
+                return  # job outlived its runtime cap: let the lease expire
             try:
                 if not self._store.extend_lease(
                     self._job_id, self._owner, visibility=self._visibility
@@ -384,12 +456,18 @@ def worker_main(
     poll: float = 0.2,
     drain_and_exit: bool = False,
     max_jobs: "int | None" = None,
+    job_timeout: "float | None" = None,
 ) -> int:
     """Entry point of one fleet worker (runs in its own process).
 
     Loops lease → execute → ack/nack until SIGTERM (graceful: the in-flight
     job is finished and acked first) or, with ``drain_and_exit``, until the
     queue is empty.  Returns the number of jobs executed.
+
+    ``job_timeout`` is the default per-job runtime cap (seconds) past
+    which the heartbeat stops renewing the lease; a job payload's
+    ``timeout`` key overrides it per job.  ``None`` leaves uncapped jobs
+    beating for as long as they run.
     """
     stop = {"flag": False}
 
@@ -433,7 +511,12 @@ def worker_main(
                     time.sleep(0.05)
                     waited += 0.05
                 continue
-            beat = _Heartbeat(store, job.id, owner, visibility)
+            payload = job.payload if isinstance(job.payload, dict) else {}
+            try:
+                cap = float(payload["timeout"]) if "timeout" in payload else job_timeout
+            except (TypeError, ValueError):
+                cap = job_timeout
+            beat = _Heartbeat(store, job.id, owner, visibility, max_runtime=cap)
             try:
                 result = execute_job(job, cache)
             except JobFailure as exc:
@@ -481,6 +564,7 @@ class WorkerPool:
         poll: float = 0.2,
         respawn: bool = True,
         drain_and_exit: bool = False,
+        job_timeout: "float | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -489,6 +573,7 @@ class WorkerPool:
         self.cache_dir = cache_dir
         self.visibility = visibility
         self.poll = poll
+        self.job_timeout = job_timeout
         self.respawn = respawn and not drain_and_exit
         self.drain_and_exit = drain_and_exit
         self.respawned = 0
@@ -509,6 +594,7 @@ class WorkerPool:
                 "visibility": self.visibility,
                 "poll": self.poll,
                 "drain_and_exit": self.drain_and_exit,
+                "job_timeout": self.job_timeout,
             },
             daemon=True,
             name=f"repro-worker-{worker_id}",
@@ -677,6 +763,7 @@ __all__ = [
     "check_options",
     "check_payload",
     "drain_queue",
+    "effective_options",
     "enqueue_analysis",
     "execute_job",
     "job_idempotency_key",

@@ -23,12 +23,18 @@ numbers under ``repro_*`` names — see ``render_prometheus``):
     fleet size, live processes, crash respawns.
 ``service.{uptime_seconds,requests_total,warm_pipelines}``
     HTTP-process facts.
+``resilience.{timeouts,timeout_dead,degraded,faults_armed,faults}``
+    deadline/degradation outcomes from the store plus fired
+    fault-injection counters (:mod:`repro.faults`) — the numbers a chaos
+    drill asserts against.
 """
 
 from __future__ import annotations
 
 import math
 import time
+
+from repro import faults
 
 
 def percentile(sample: "list[float]", q: float) -> float:
@@ -61,6 +67,7 @@ class ServiceMetrics:
             "cache": self._cache(),
             "workers": self._workers(),
             "service": self._service(),
+            "resilience": self._resilience(),
         }
         return out
 
@@ -101,6 +108,8 @@ class ServiceMetrics:
             "disk_hits": stats["disk_hits"],
             "misses": stats["misses"],
             "writes": stats["writes"],
+            "discarded": stats["discarded"],
+            "corrupt_discarded": stats["corrupt_discarded"],
             "hit_rate": (hits / asked) if asked else 0.0,
         }
 
@@ -118,6 +127,17 @@ class ServiceMetrics:
         if self.service is not None:
             out["requests_total"] = self.service.requests
             out["warm_pipelines"] = len(self.service._pipelines)
+        return out
+
+    def _resilience(self) -> dict:
+        out: dict = {
+            "faults_armed": faults.armed(),
+            "faults": faults.counters(),
+        }
+        if self.store is not None:
+            out.update(self.store.resilience_totals())
+        else:
+            out.update({"timeouts": 0, "timeout_dead": 0, "degraded": 0})
         return out
 
     # -- Prometheus text format ----------------------------------------------
@@ -187,6 +207,16 @@ class ServiceMetrics:
                 "repro_cache_misses_total", "counter", "Artifact-cache misses.",
                 [({}, cache["misses"])],
             )
+            metric(
+                "repro_cache_discarded_total", "counter",
+                "Disk entries discarded on load (any reason).",
+                [({}, cache["discarded"])],
+            )
+            metric(
+                "repro_cache_corrupt_discarded_total", "counter",
+                "Disk entries discarded because their bytes were corrupt.",
+                [({}, cache["corrupt_discarded"])],
+            )
         metric(
             "repro_cache_hit_rate", "gauge",
             "Artifact-cache hits / lookups (0 when disabled).",
@@ -220,6 +250,44 @@ class ServiceMetrics:
             metric(
                 "repro_warm_pipelines", "gauge", "Warm per-program pipelines.",
                 [({}, service["warm_pipelines"])],
+            )
+
+        res = snap["resilience"]
+        metric(
+            "repro_analysis_timeouts_total", "counter",
+            "Jobs whose last failure was an analysis deadline.",
+            [({}, res["timeouts"])],
+        )
+        metric(
+            "repro_analysis_timeout_dead_total", "counter",
+            "Jobs dead-lettered after exhausting the deadline retry.",
+            [({}, res["timeout_dead"])],
+        )
+        metric(
+            "repro_degraded_results_total", "counter",
+            "Done jobs that returned a gracefully degraded result.",
+            [({}, res["degraded"])],
+        )
+        metric(
+            "repro_faults_armed", "gauge",
+            "Whether seeded fault injection is armed in this process.",
+            [({}, res["faults_armed"])],
+        )
+        fired = sorted(res["faults"].items())
+        if fired:
+            metric(
+                "repro_faults_injected_total", "counter",
+                "Injected faults fired, by point and mode.",
+                [
+                    (
+                        {
+                            "point": key.rsplit(":", 1)[0],
+                            "mode": key.rsplit(":", 1)[1],
+                        },
+                        count,
+                    )
+                    for key, count in fired
+                ],
             )
         return "\n".join(lines) + "\n"
 

@@ -256,7 +256,7 @@ class AnalysisService:
             # smoke tests and fleet drills.
             body = {
                 k: v for k, v in payload.items()
-                if k in ("seconds", "message", "retryable")
+                if k in ("seconds", "message", "retryable", "timeout")
             }
             if key is None and payload.get("dedupe"):
                 key = job_idempotency_key(kind, body)
@@ -614,6 +614,7 @@ def serve(
     workers: int = 0,
     visibility: float = 60.0,
     max_queued: int | None = None,
+    job_timeout: "float | None" = None,
     out=None,
 ) -> int:
     """Run the server until SIGINT/SIGTERM (the ``repro serve`` entry point).
@@ -623,6 +624,11 @@ def serve(
     fleet starts, so queued work resumes exactly where it stopped.  On
     SIGTERM the fleet drains gracefully (in-flight jobs are finished and
     acked) before the process exits.
+
+    ``job_timeout`` caps each job's heartbeat runtime (a job payload's
+    ``timeout`` key overrides it): past the cap the lease stops being
+    renewed, so a hung job is reclaimed and re-delivered instead of
+    holding its lease until someone kills the worker.
     """
     store = pool = None
     if workers > 0 or db is not None:
@@ -641,7 +647,8 @@ def serve(
                 else None
             )
             pool = WorkerPool(
-                db, workers, cache_dir, visibility=visibility
+                db, workers, cache_dir, visibility=visibility,
+                job_timeout=job_timeout,
             ).start()
     server = make_server(
         host, port, cache, max_pipelines, store=store, pool=pool,

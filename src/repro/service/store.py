@@ -51,6 +51,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
+
 #: Terminal states — a job here is never picked up again.
 TERMINAL_STATES = ("done", "dead")
 #: Every state a job row can be in.
@@ -214,6 +216,10 @@ class JobStore:
             self.conn = conn
 
         def __enter__(self) -> sqlite3.Connection:
+            # Injected before BEGIN so a fired fault aborts the transaction
+            # cleanly — nothing is left holding the write lock (models a
+            # busy/erroring disk at the point SQLite would acquire it).
+            faults.check("store.tx")
             self.conn.execute("BEGIN IMMEDIATE")
             return self.conn
 
@@ -377,9 +383,23 @@ class JobStore:
 
     def _recover_locked(self, conn: sqlite3.Connection, now: float) -> int:
         """Re-queue expired leases (caller holds the write transaction).
+
         An exhausted job whose *lease* expired still gets one more
         delivery — the attempt was charged at lease time but never ran to
-        a verdict; dead-lettering is the verdict of a nack, not a crash."""
+        a verdict; dead-lettering is the verdict of a nack, not a crash.
+        That grace is bounded, though: a job whose lease expires *again*
+        on the delivery past its budget is presumed hung (wedged worker,
+        runtime cap exceeded) and dead-letters here, or it would ping-pong
+        between stuck workers forever."""
+        conn.execute(
+            "UPDATE jobs SET state = 'dead', lease_owner = NULL,"
+            " lease_deadline = NULL, finished_at = ?,"
+            " error = 'lease expired after ' || attempts || ' deliveries;"
+            " job presumed hung (runtime cap exceeded or worker wedged)'"
+            " WHERE state = 'leased' AND lease_deadline < ?"
+            " AND attempts > max_attempts",
+            (now, now),
+        )
         cursor = conn.execute(
             "UPDATE jobs SET state = 'queued', lease_owner = NULL,"
             " lease_deadline = NULL, not_before = ?, retries = retries + 1"
@@ -440,6 +460,37 @@ class JobStore:
             "enqueued": row["enqueued"],
             "retried": row["retried"],
             "attempts": row["attempts"],
+        }
+
+    def resilience_totals(self) -> dict[str, int]:
+        """Timeout/degradation counters for /metrics, derived from the
+        rows themselves (durable, like every other queue metric).
+
+        ``timeouts`` counts jobs whose *last recorded* failure was an
+        analysis deadline (the marker string is the fixed prefix of every
+        :class:`~repro.deadline.AnalysisTimeout` message); ``timeout_dead``
+        is the subset that dead-lettered; ``degraded`` counts done jobs
+        whose result carries a graceful-degradation provenance block.
+        """
+        conn = self._conn()
+        marker = "%analysis deadline exceeded%"
+        timeouts = conn.execute(
+            "SELECT COUNT(*) AS n FROM jobs WHERE error LIKE ?", (marker,)
+        ).fetchone()["n"]
+        timeout_dead = conn.execute(
+            "SELECT COUNT(*) AS n FROM jobs WHERE state = 'dead'"
+            " AND error LIKE ?",
+            (marker,),
+        ).fetchone()["n"]
+        degraded = conn.execute(
+            "SELECT COUNT(*) AS n FROM jobs WHERE state = 'done'"
+            " AND result LIKE ?",
+            ('%"degraded"%',),
+        ).fetchone()["n"]
+        return {
+            "timeouts": timeouts,
+            "timeout_dead": timeout_dead,
+            "degraded": degraded,
         }
 
     def run_latencies(self, limit: int = 1024) -> list[float]:

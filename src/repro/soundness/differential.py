@@ -45,6 +45,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.analysis.pipeline import AnalysisOptions
+from repro.deadline import AnalysisTimeout, Deadline, deadline_scope
 from repro.interp.mc import statistics_from_costs
 from repro.interp.vectorized import VectorizedMachine
 from repro.lang.ast import (
@@ -65,9 +66,19 @@ from repro.service.executor import run_batch
 VERIFIED = "verified"
 ANALYZER_INFEASIBLE = "analyzer-infeasible"
 SIMULATION_TIMEOUT = "simulation-timeout"
+#: The case blew its per-case wall-clock deadline (analysis or simulation)
+#: — distinct from ``simulation-timeout``, which is a *step*-budget
+#: exhaustion inside an otherwise timely simulation.
+ANALYSIS_TIMEOUT = "analysis-timeout"
 VIOLATION = "violation"
 
-STATUSES = (VERIFIED, ANALYZER_INFEASIBLE, SIMULATION_TIMEOUT, VIOLATION)
+STATUSES = (
+    VERIFIED,
+    ANALYZER_INFEASIBLE,
+    SIMULATION_TIMEOUT,
+    ANALYSIS_TIMEOUT,
+    VIOLATION,
+)
 
 
 @dataclass(frozen=True)
@@ -86,6 +97,11 @@ class DifferentialConfig:
     minimize: bool = True
     #: Cap on candidate evaluations during minimization.
     minimize_budget: int = 120
+    #: Per-case wall-clock deadline in seconds (``None`` = unbounded): the
+    #: analysis runs under an :class:`~repro.deadline.Deadline` of this
+    #: length and the simulation under a fresh one, so one pathological
+    #: case cannot stall a whole corpus run.
+    deadline_seconds: "float | None" = None
 
 
 @dataclass
@@ -164,6 +180,8 @@ class DifferentialReport:
             lines.append(f"  [infeasible] {outcome.case.name}: {outcome.detail}")
         for outcome in self.by_status(SIMULATION_TIMEOUT):
             lines.append(f"  [timeout]    {outcome.case.name}: {outcome.detail}")
+        for outcome in self.by_status(ANALYSIS_TIMEOUT):
+            lines.append(f"  [deadline]   {outcome.case.name}: {outcome.detail}")
         for outcome in self.violations:
             lines.append(f"  [VIOLATION]  {outcome.case.name}: {outcome.detail}")
             for check in outcome.failed_checks:
@@ -269,7 +287,14 @@ def check_case(
     started = time.perf_counter()
     try:
         result = AnalysisPipeline(program).analyze(
-            _case_options(case, backend, lp_reduce, lp_jobs)
+            _case_options(case, backend, lp_reduce, lp_jobs, config)
+        )
+    except AnalysisTimeout as exc:
+        return CaseOutcome(
+            case=case,
+            status=ANALYSIS_TIMEOUT,
+            detail=f"AnalysisTimeout: {exc}",
+            analyze_seconds=time.perf_counter() - started,
         )
     except Exception as exc:
         return CaseOutcome(
@@ -287,6 +312,7 @@ def _case_options(
     backend: str | None = None,
     lp_reduce: "bool | None" = None,
     lp_jobs: "int | None" = None,
+    config: "DifferentialConfig | None" = None,
 ) -> AnalysisOptions:
     return AnalysisOptions(
         moment_degree=case.moment_degree,
@@ -294,6 +320,7 @@ def _case_options(
         backend=backend,
         lp_reduce=lp_reduce,
         lp_jobs=lp_jobs,
+        deadline_seconds=config.deadline_seconds if config is not None else None,
     )
 
 
@@ -304,7 +331,26 @@ def _classify(
     analyze_seconds: float,
     config: DifferentialConfig,
 ) -> CaseOutcome:
-    checks, timeouts, sim_seconds = compare_bounds(result, case, program, config)
+    # The simulation runs under its own fresh deadline (the analysis spent
+    # the other one); ``deadline_scope(None)`` also isolates it from any
+    # ambient deadline the caller may still have armed.
+    sim_deadline = (
+        Deadline(config.deadline_seconds)
+        if config.deadline_seconds is not None
+        else None
+    )
+    try:
+        with deadline_scope(sim_deadline):
+            checks, timeouts, sim_seconds = compare_bounds(
+                result, case, program, config
+            )
+    except AnalysisTimeout as exc:
+        return CaseOutcome(
+            case=case,
+            status=ANALYSIS_TIMEOUT,
+            detail=f"AnalysisTimeout (simulation): {exc}",
+            analyze_seconds=analyze_seconds,
+        )
     outcome = CaseOutcome(
         case=case,
         status=VERIFIED,
@@ -558,7 +604,10 @@ def run_differential(
     config = config or DifferentialConfig()
     started = time.perf_counter()
     workload = {
-        case.name: (case.parse(), _case_options(case, backend, lp_reduce, lp_jobs))
+        case.name: (
+            case.parse(),
+            _case_options(case, backend, lp_reduce, lp_jobs, config),
+        )
         for case in cases
     }
     batch = run_batch(workload, jobs=jobs, executor=executor, cache=cache)
@@ -568,11 +617,15 @@ def run_differential(
     for item in batch.items:
         case = by_name[item.name]
         if not item.ok:
+            error = item.error or "analysis failed"
+            # Batch items travel as (ok, error-string); the fixed message
+            # prefix of AnalysisTimeout is the classification marker.
+            timed_out = "analysis deadline exceeded" in error
             report.outcomes.append(
                 CaseOutcome(
                     case=case,
-                    status=ANALYZER_INFEASIBLE,
-                    detail=item.error or "analysis failed",
+                    status=ANALYSIS_TIMEOUT if timed_out else ANALYZER_INFEASIBLE,
+                    detail=error,
                     analyze_seconds=item.seconds,
                 )
             )
@@ -592,6 +645,7 @@ def run_differential(
 
 
 __all__ = [
+    "ANALYSIS_TIMEOUT",
     "ANALYZER_INFEASIBLE",
     "CaseOutcome",
     "DifferentialConfig",

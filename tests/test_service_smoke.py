@@ -51,6 +51,16 @@ E[cost] in [3.9, 5.1]
 """
 
 SMOKE = os.environ.get("REPRO_SERVICE_SMOKE") == "1"
+CHAOS = os.environ.get("REPRO_SERVICE_CHAOS") == "1"
+
+#: The chaos drill's armed faults: every disk-cache write is corrupted
+#: (discarded and recomputed on the next read), a quarter of cache reads
+#: fail outright, and every LP worker IPC round-trip raises.  All three
+#: are recoverable by design — the drill asserts the service keeps
+#: answering correctly *and* that the faults actually fired.
+CHAOS_FAULTS = (
+    "cache.read:raise:0.25:7,cache.write:corrupt:1:8,lp.worker_ipc:raise:1:9"
+)
 
 
 def _post(port, path, body, timeout=30.0):
@@ -142,16 +152,22 @@ class TestInProcessSmoke:
 _BOOTS = iter(range(1, 1000))
 
 
-def _boot_serve(db, cache_dir, workers=4, visibility=2.0):
+def _boot_serve(
+    db, cache_dir, workers=4, visibility=2.0, job_timeout=None, env_extra=None
+):
     """Start ``repro serve`` on an ephemeral port, return (proc, port).
 
     With ``REPRO_SERVICE_LOG_DIR`` set (the CI smoke leg does), all server
     output is mirrored to ``serve-<n>.log`` there so failures upload the
-    full transcript as an artifact.
+    full transcript as an artifact.  ``env_extra`` entries (the chaos
+    drill's ``REPRO_FAULTS``) are injected into the subprocess
+    environment; ``job_timeout`` forwards ``--job-timeout``.
     """
     env = dict(os.environ)
     env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
     env["PYTHONUNBUFFERED"] = "1"
+    if env_extra:
+        env.update(env_extra)
     log_dir = os.environ.get("REPRO_SERVICE_LOG_DIR")
     log = None
     if log_dir:
@@ -159,15 +175,18 @@ def _boot_serve(db, cache_dir, workers=4, visibility=2.0):
         log = open(
             Path(log_dir) / f"serve-{next(_BOOTS)}.log", "w", buffering=1
         )
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--db", str(db),
+        "--workers", str(workers),
+        "--visibility", str(visibility),
+        "--cache-dir", str(cache_dir),
+    ]
+    if job_timeout is not None:
+        argv += ["--job-timeout", str(job_timeout)]
     proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", "0",
-            "--db", str(db),
-            "--workers", str(workers),
-            "--visibility", str(visibility),
-            "--cache-dir", str(cache_dir),
-        ],
+        argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -318,6 +337,159 @@ class TestServiceSmoke:
             assert 'repro_analysis_latency_seconds{quantile="0.99"}' in text
             store.close()
 
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120.0) == 0
+        except BaseException:
+            proc.kill()
+            raise
+
+
+# ---------------------------------------------------------------------------
+# CI drill: chaos leg (REPRO_SERVICE_CHAOS=1)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.smoke
+@pytest.mark.skipif(not CHAOS, reason="set REPRO_SERVICE_CHAOS=1 to run")
+class TestServiceChaos:
+    """Armed faults + a hung job against a real ``repro serve`` process.
+
+    The drill demonstrates the full degradation ladder the resilience
+    layer promises:
+
+    * cache I/O faults (corrupt writes, failing reads) degrade the cache
+      to recompute — analyses still answer correctly;
+    * an injected LP worker IPC fault surfaces as a typed parent-side
+      error, not a wedged pool (exercised in-process, where parallel LP
+      actually dispatches — queue workers deliberately solve
+      sequentially);
+    * an analyze job with a tiny deadline times out, is re-delivered once
+      at *half* the deadline, times out again, and dead-letters;
+    * a hung job whose payload ``timeout`` undercuts its runtime loses
+      its lease (the heartbeat stops extending), is reclaimed, and
+      dead-letters after its attempt budget — no SIGKILL involved;
+    * ``/metrics`` reports it all: timeout counters, armed faults, and
+      fired-fault counts.
+    """
+
+    def test_worker_ipc_fault_is_a_typed_error(self):
+        """In-process leg: an armed ``lp.worker_ipc`` fault fails the
+        solve with a typed error and leaves the pool reusable."""
+        from repro import AnalysisOptions, analyze, faults
+        from repro.lp import parallel as par
+        from repro.lp.core import LPError
+        from repro.programs import registry
+
+        program = registry.all_benchmarks()["absynth-ber"].parse()
+        par.shutdown_pool()  # workers must fork *after* arming
+        faults.configure("lp.worker_ipc:raise:1:9")
+        try:
+            with pytest.raises(LPError, match="FaultInjected"):
+                analyze(
+                    program, AnalysisOptions(moment_degree=2, lp_jobs=2)
+                )
+            assert faults.counters() == {}  # fired in workers, not here
+        finally:
+            faults.configure("")
+            par.shutdown_pool()
+        # Disarmed and respawned, the same call succeeds.
+        result = analyze(program, AnalysisOptions(moment_degree=2, lp_jobs=2))
+        assert result.raw.degree == 2
+
+    def test_chaos_drill(self, tmp_path):
+        db = tmp_path / "jobs.sqlite3"
+        cache_dir = tmp_path / "cache"
+        proc, port, _sink = _boot_serve(
+            db, cache_dir, workers=2, visibility=1.0, job_timeout=1.0,
+            env_extra={"REPRO_FAULTS": CHAOS_FAULTS},
+        )
+        try:
+            # 1. Real analyses through the faulted cache: corrupt disk
+            #    writes and failing reads must degrade to recompute, never
+            #    to wrong answers.
+            analyze_ids = []
+            for i in range(6):
+                response = _post(port, "/jobs", {
+                    "program": SIMPLE,
+                    "options": {"moments": 1, "at": {"d": 4.0 + i}},
+                })
+                assert response["ok"]
+                analyze_ids.append(response["id"])
+
+            # 2. A deadline-doomed analyze job: the first delivery times
+            #    out, the retry runs at half the deadline and times out
+            #    again, and the job dead-letters.
+            response = _post(port, "/jobs", {
+                "program": SIMPLE,
+                "options": {"moments": 4, "deadline": 0.001},
+            })
+            doomed_id = response["id"]
+
+            store = JobStore(db)
+            deadline = time.time() + 180.0
+            watched = analyze_ids + [doomed_id]
+            while time.time() < deadline:
+                jobs = list(store.iter_jobs(watched))
+                if all(job is not None and job.terminal for job in jobs):
+                    break
+                time.sleep(0.1)
+            jobs = {job.id: job for job in store.iter_jobs(watched) if job}
+            for job_id in analyze_ids:
+                assert jobs[job_id].state == "done", jobs[job_id].error
+                assert "E[C^1]" in jobs[job_id].result["summary"]
+            doomed = jobs[doomed_id]
+            assert doomed.state == "dead"
+            assert doomed.attempts == 2  # exactly one reduced-deadline retry
+            assert doomed.retries >= 1
+            assert "analysis deadline exceeded" in doomed.error
+
+            # 3. The hung job: 8s of runtime under a 1s cap.  The
+            #    heartbeat stops at the cap, the lease expires, the store
+            #    reclaims and re-delivers; past the attempt budget (plus
+            #    the one crash-grace delivery) the recovery path presumes
+            #    the job hung and dead-letters it.  The workers stay stuck
+            #    for a while — the *job* must not.
+            response = _post(port, "/jobs", {
+                "kind": "sleep", "seconds": 8.0, "timeout": 1.0,
+                "max_attempts": 2,
+            })
+            hung_id = response["id"]
+            deadline = time.time() + 90.0
+            hung = None
+            while time.time() < deadline:
+                hung = store.get(hung_id)
+                if hung is not None and hung.terminal:
+                    break
+                time.sleep(0.25)
+            assert hung is not None and hung.state == "dead"
+            assert hung.attempts == 3  # budget of 2, one grace delivery
+            assert hung.retries >= 2  # every reclaim was a lease expiry
+            assert "presumed hung" in hung.error
+
+            # 4. Inline /check in the serve process: correct through the
+            #    corrupted cache, and it fires server-side fault counters.
+            verdict = _post(port, "/check", {"program": SIMPLE, "spec": SPEC})
+            assert verdict["ok"] and verdict["verdict"] == "pass"
+
+            # 5. /metrics owns the story: armed faults, fired counters,
+            #    timeout and dead-letter totals.
+            _, raw = _get(port, "/metrics")
+            snap = json.loads(raw)
+            res = snap["resilience"]
+            assert res["faults_armed"] is True
+            assert res["timeouts"] >= 1
+            assert res["timeout_dead"] >= 1
+            assert res["faults"].get("cache.write:corrupt", 0) >= 1
+            _, raw = _get(port, "/metrics?format=prometheus")
+            text = raw.decode()
+            assert "repro_faults_armed 1" in text
+            assert "repro_analysis_timeouts_total" in text
+            assert "repro_analysis_timeout_dead_total" in text
+            assert 'repro_faults_injected_total{point="cache.write"' in text
+            store.close()
+
+            # 6. Graceful shutdown: the stuck workers' sleeps run out and
+            #    the fleet drains clean.
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=120.0) == 0
         except BaseException:
