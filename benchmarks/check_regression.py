@@ -45,6 +45,8 @@ GATES: dict[str, tuple[tuple[str, float | None], ...]] = {
     "BENCH_mc.json": (("vectorized_total_seconds", None),),
     # Queue totals are poll-granular and small; give them a wider budget.
     "BENCH_queue.json": (("queue_batch_total_seconds", 0.75),),
+    # Campaign sweeps ride the same fleet: same wide budget.
+    "BENCH_fuzz.json": (("campaign_total_seconds", 0.75),),
 }
 
 

@@ -28,6 +28,15 @@ and violations exit non-zero with a minimized reproducer under ``--out``.
 ``--budget SECONDS`` is the nightly deep mode (fresh seeds until the budget
 is spent); the default one-shot mode is the tier-1 corpus.
 
+``python -m repro fuzz campaign start|resume|status|report`` scales the
+same harness to a durable, crash-safe campaign over the SQLite job store
+(:mod:`repro.soundness.campaign`): the seed range is sharded into queue
+jobs with exactly-once accounting, violation reproducers land in a
+content-addressed corpus before shards ack, worker-killing programs are
+quarantined with provenance, and generation is reweighted toward
+under-covered feature buckets.  ``resume`` after any crash replays only
+unfinished shards, byte-identically.
+
 ``repro analyze --profile [N]`` runs each pipeline stage under ``cProfile``
 and prints the top-N cumulative hotspots per stage, the LP reduction
 layer's presolve statistics (columns eliminated by rule, rows
@@ -323,6 +332,108 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(fuzz_cmd)
     _add_cache_flag(fuzz_cmd)
+
+    fuzz_sub = fuzz_cmd.add_subparsers(dest="fuzz_command", metavar="")
+    campaign_cmd = fuzz_sub.add_parser(
+        "campaign",
+        help="durable crash-safe fuzzing campaigns over the job queue",
+        description="Run a corpus-scale differential-soundness sweep as a "
+        "durable campaign: the seed range is partitioned into shard jobs "
+        "on the SQLite/WAL job store and executed by the worker fleet, "
+        "with exactly-once shard accounting, content-addressed violation "
+        "reproducers persisted before each shard acks, quarantine for "
+        "programs that crash or OOM workers, and coverage-guided "
+        "generation.  'start' creates and drives the campaign; 'resume' "
+        "continues after any crash (only unfinished shards run); 'status' "
+        "and 'report' inspect durable state without running anything.",
+    )
+    campaign_cmd.add_argument(
+        "action", choices=("start", "resume", "status", "report"),
+        help="lifecycle verb",
+    )
+    campaign_cmd.add_argument(
+        "--db", required=True, metavar="PATH",
+        help="SQLite job-store file (shared with the queue/fleet; campaign "
+        "tables live in the same file)",
+    )
+    campaign_cmd.add_argument(
+        "--name", default="default", help="campaign name (default 'default')"
+    )
+    campaign_cmd.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="campaign output directory for the reproducer corpus and "
+        "quarantine dumps (default: <db>.campaigns/<name>)",
+    )
+    campaign_cmd.add_argument(
+        "--seed", type=int, default=0, help="first generator seed (default 0)"
+    )
+    campaign_cmd.add_argument(
+        "--seeds", type=int, default=500, dest="seed_count", metavar="N",
+        help="total seeds in the campaign (default 500)",
+    )
+    campaign_cmd.add_argument(
+        "--shard-size", type=int, default=25, metavar="N",
+        help="seeds per shard job (default 25)",
+    )
+    campaign_cmd.add_argument(
+        "--samples", type=int, default=2000,
+        help="Monte-Carlo trajectories per case (default 2000)",
+    )
+    campaign_cmd.add_argument(
+        "--z", type=float, default=5.0,
+        help="CLT sigma multiplier for the bracketing margin (default 5)",
+    )
+    campaign_cmd.add_argument(
+        "--max-steps", type=int, default=200_000,
+        help="per-trajectory step budget before a run counts as a timeout",
+    )
+    campaign_cmd.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="per-case analysis/simulation deadline (default 30)",
+    )
+    campaign_cmd.add_argument(
+        "--minimize-seconds", type=float, default=60.0, metavar="SECONDS",
+        help="wall-clock cap on one reproducer minimization (default 60)",
+    )
+    campaign_cmd.add_argument(
+        "--max-rss-mb", type=int, default=None, metavar="MB",
+        help="RSS rlimit applied to workers and quarantine probes",
+    )
+    campaign_cmd.add_argument(
+        "--bias-fraction", type=float, default=0.5, metavar="F",
+        help="fraction of each shard generated with the coverage bias",
+    )
+    campaign_cmd.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="fleet size while driving the campaign (default 2)",
+    )
+    campaign_cmd.add_argument(
+        "--visibility", type=float, default=60.0, metavar="SECONDS",
+        help="shard-job lease length; a crashed worker's shard is "
+        "re-delivered after this long (default 60)",
+    )
+    campaign_cmd.add_argument(
+        "--wave", type=int, default=None, metavar="N",
+        help="shards enqueued per coverage wave (default 4x workers, min 8)",
+    )
+    campaign_cmd.add_argument(
+        "--wave-timeout", type=float, default=900.0, metavar="SECONDS",
+        help="max wait for one wave before the driver re-plans (default 900)",
+    )
+    campaign_cmd.add_argument(
+        "--chaos-crash-seeds", default="", metavar="S1,S2",
+        help="drill hook: case seeds that hard-kill their worker "
+        "(exercises quarantine end to end)",
+    )
+    campaign_cmd.add_argument(
+        "--chaos-oom-seeds", default="", metavar="S1,S2",
+        help="drill hook: case seeds that raise MemoryError in the worker",
+    )
+    campaign_cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the status/report document as JSON",
+    )
+    _add_cache_flag(campaign_cmd)
 
     serve_cmd = sub.add_parser(
         "serve", help="start the HTTP JSON analysis API"
@@ -791,6 +902,100 @@ def _run_check(args, out) -> int:
     return 0
 
 
+def _parse_seed_list(text: str) -> tuple[int, ...]:
+    if not text:
+        return ()
+    return tuple(int(piece) for piece in text.split(",") if piece.strip())
+
+
+def _run_campaign(args, out) -> int:
+    import json as json_mod
+
+    from repro.soundness.campaign import (
+        CampaignConfig,
+        build_report,
+        run_campaign,
+        start_campaign,
+    )
+
+    if args.action in ("status", "report"):
+        try:
+            report = build_report(args.db, args.name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        if args.as_json:
+            print(json_mod.dumps(report.to_dict(), indent=2), file=out)
+        else:
+            print(report.summary(), file=out)
+            if args.action == "report" and report.quarantine:
+                campaign_dir = args.dir or f"{args.db}.campaigns/{args.name}"
+                print(
+                    f"  inspect quarantine dumps under {campaign_dir}/quarantine",
+                    file=out,
+                )
+        if args.action == "report":
+            return 1 if report.reproducers else 0
+        return 0
+
+    config = CampaignConfig(
+        seed_start=args.seed,
+        seed_count=args.seed_count,
+        shard_size=args.shard_size,
+        samples=args.samples,
+        z=args.z,
+        max_steps=args.max_steps,
+        deadline_seconds=args.deadline,
+        minimize_seconds=args.minimize_seconds,
+        max_rss_mb=args.max_rss_mb,
+        bias_fraction=args.bias_fraction,
+        chaos_oom_seeds=_parse_seed_list(args.chaos_oom_seeds),
+        chaos_crash_seeds=_parse_seed_list(args.chaos_crash_seeds),
+    )
+    if args.action == "start":
+        try:
+            start_campaign(args.db, args.name, config, args.dir)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    else:  # resume: the campaign must already exist; config comes from DB
+        from repro.soundness.campaign import CampaignStore
+
+        cstore = CampaignStore(args.db)
+        try:
+            if cstore.get_campaign(args.name) is None:
+                print(
+                    f"error: no campaign named {args.name!r} in {args.db};"
+                    " use 'start'",
+                    file=out,
+                )
+                return 2
+        finally:
+            cstore.close()
+    report = run_campaign(
+        args.db,
+        args.name,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        visibility=args.visibility,
+        wave=args.wave,
+        wave_timeout=args.wave_timeout,
+        log=lambda message: print(message, file=out),
+    )
+    if args.as_json:
+        print(json_mod.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(report.summary(), file=out)
+    if not report.complete:
+        print(
+            f"campaign {args.name} did not finish; resume with:"
+            f" repro fuzz campaign resume --db {args.db} --name {args.name}",
+            file=out,
+        )
+        return 2
+    return 1 if report.reproducers else 0
+
+
 def _run_fuzz(args, out) -> int:
     import time
 
@@ -800,6 +1005,9 @@ def _run_fuzz(args, out) -> int:
         DifferentialReport,
         run_differential,
     )
+
+    if getattr(args, "fuzz_command", None) == "campaign":
+        return _run_campaign(args, out)
 
     config = DifferentialConfig(
         samples=args.samples,
@@ -979,7 +1187,9 @@ def _run_jobs(args, out) -> int:
     return 0 if drained else 1
 
 
-def run(argv: list[str] | None = None, out=sys.stdout) -> int:
+def run(argv: list[str] | None = None, out=None) -> int:
+    if out is None:
+        out = sys.stdout  # late-bound so embedders that swap stdout see theirs
     args = build_parser().parse_args(argv)
     try:
         if args.command == "batch":

@@ -35,12 +35,15 @@ valuation — exercising the analyzer's symbolic-in-the-initial-state path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.lang.ast import Program
 from repro.lang.parser import parse_program
+
+#: The block-template kinds coverage-guided campaigns can reweight.
+TEMPLATE_KINDS = ("walk", "straight", "climb", "geo")
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,11 @@ class FuzzConfig:
     moment_degrees: tuple[int, ...] = (1, 2, 2)
     #: Start values for open walk cases.
     max_start: int = 12
+    #: Optional coverage bias: ``((kind, weight), ...)`` multipliers over
+    #: the block-template kinds (:data:`TEMPLATE_KINDS`).  ``None`` keeps
+    #: the historical unweighted draw *and its exact RNG consumption*, so
+    #: every pre-existing seed still generates byte-identical programs.
+    kind_weights: "tuple[tuple[str, float], ...] | None" = None
 
 
 @dataclass(frozen=True)
@@ -309,6 +317,27 @@ class _CaseBuilder:
         return "\n".join(lines)
 
 
+def _pick_kind(
+    rng: np.random.Generator,
+    kinds: list[str],
+    weights: "tuple[tuple[str, float], ...] | None",
+) -> str:
+    """One block-kind draw.  Without weights this is *exactly* the historical
+    ``rng.choice(kinds)`` call; with weights the base frequencies (walk is
+    listed twice) are multiplied by the campaign's coverage bias."""
+    if not weights:
+        return str(rng.choice(kinds))
+    names = sorted(set(kinds))
+    bias = dict(weights)
+    mass = np.array(
+        [kinds.count(n) * max(float(bias.get(n, 1.0)), 0.0) for n in names],
+        dtype=float,
+    )
+    if mass.sum() <= 0.0:
+        return str(rng.choice(kinds))
+    return str(rng.choice(names, p=mass / mass.sum()))
+
+
 def generate_case(seed: int, config: FuzzConfig | None = None) -> FuzzCase:
     """Deterministically generate one well-formed scenario for ``seed``."""
     config = config or FuzzConfig()
@@ -324,7 +353,7 @@ def generate_case(seed: int, config: FuzzConfig | None = None) -> FuzzCase:
     blocks: list[str] = []
     n_blocks = 1 if open_walk else int(rng.integers(1, config.max_blocks + 1))
     for i in range(n_blocks):
-        kind = rng.choice(kinds)
+        kind = _pick_kind(rng, kinds, config.kind_weights)
         if open_walk:
             kind = "walk"
         if kind == "walk":
@@ -376,4 +405,63 @@ def generate_corpus(
     return [generate_case(seed + i, config) for i in range(count)]
 
 
-__all__ = ["FuzzCase", "FuzzConfig", "generate_case", "generate_corpus"]
+def bucket_signature(case: FuzzCase) -> str:
+    """Coverage bucket of a case: its feature set plus the moment degree.
+
+    Campaigns tally these to measure how evenly the scenario grid is being
+    exercised and to reweight generation toward under-covered buckets."""
+    feats = "+".join(sorted(case.features)) or "plain"
+    return f"{feats}|m{case.moment_degree}"
+
+
+def shard_rng(campaign_seed: int, shard_index: int) -> np.random.Generator:
+    """The per-shard sub-RNG: a :class:`numpy.random.SeedSequence` spawn keyed
+    by (campaign seed, shard index), independent of the per-case seed streams.
+
+    Campaigns use it only for shard-local decisions (whether a given case
+    applies the coverage bias), so a shard replay is a pure function of its
+    durable payload."""
+    ss = np.random.SeedSequence(entropy=campaign_seed, spawn_key=(shard_index,))
+    return np.random.default_rng(ss)
+
+
+def generate_shard_corpus(
+    seed_lo: int,
+    count: int,
+    config: FuzzConfig | None = None,
+    *,
+    campaign_seed: int = 0,
+    shard_index: int = 0,
+    bias_fraction: float = 0.5,
+) -> list[FuzzCase]:
+    """Cases for one campaign shard (seeds ``seed_lo .. seed_lo+count-1``).
+
+    When ``config.kind_weights`` is set, each case independently applies the
+    bias with probability ``bias_fraction``, decided by :func:`shard_rng` —
+    the rest of the shard keeps the unweighted historical draw so coverage
+    steering never starves the already-covered buckets entirely.  The result
+    is byte-identical across replays of the same (payload-recorded) inputs.
+    """
+    config = config or FuzzConfig()
+    sub = shard_rng(campaign_seed, shard_index)
+    unbiased = (
+        replace(config, kind_weights=None) if config.kind_weights else config
+    )
+    cases: list[FuzzCase] = []
+    for i in range(count):
+        flip = bool(sub.random() < bias_fraction)
+        chosen = config if (flip and config.kind_weights) else unbiased
+        cases.append(generate_case(seed_lo + i, chosen))
+    return cases
+
+
+__all__ = [
+    "FuzzCase",
+    "FuzzConfig",
+    "TEMPLATE_KINDS",
+    "bucket_signature",
+    "generate_case",
+    "generate_corpus",
+    "generate_shard_corpus",
+    "shard_rng",
+]

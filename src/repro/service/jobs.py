@@ -27,6 +27,10 @@ Job kinds:
 * ``analyze`` — payload ``{"program": <appl source>, "options": {...}}``
   (the HTTP/CLI vocabulary of :func:`options_from_dict`); the result is
   the same document ``POST /analyze`` returns.
+* ``fuzz_shard`` — one shard of a fuzzing campaign
+  (:mod:`repro.soundness.campaign`): the payload is the shard's durable
+  generation recipe; all campaign state commits to the store *before* the
+  ack, so shard accounting is exactly-once across crashes.
 * ``sleep`` — payload ``{"seconds": s}``: a deterministic-duration job for
   smoke tests and fleet diagnostics.  Any payload's ``timeout`` key caps
   the job's runtime (overriding the worker's ``--job-timeout`` default):
@@ -54,7 +58,7 @@ from repro.service.cache import ArtifactCache, program_key
 from repro.service.store import Job, JobStore
 
 #: Job kinds the fleet knows how to run.
-JOB_KINDS = ("analyze", "check", "sleep", "fail")
+JOB_KINDS = ("analyze", "check", "fuzz_shard", "sleep", "fail")
 
 _OPTION_KEYS = {
     "moments",
@@ -294,14 +298,23 @@ def effective_options(job: Job, options: AnalysisOptions) -> AnalysisOptions:
     return replace(options, deadline_seconds=options.deadline_seconds / 2.0)
 
 
-def execute_job(job: Job, cache: ArtifactCache | None = None) -> dict:
+def execute_job(
+    job: Job,
+    cache: ArtifactCache | None = None,
+    db_path: "str | None" = None,
+) -> dict:
     """Run one job to its JSON result document (raises on failure).
 
     ``analyze`` results are byte-compatible with ``POST /analyze``: the
     program's content hash, the CLI ``summary`` text, and the full
-    ``result`` dict.
+    ``result`` dict.  ``db_path`` is the store the job was leased from —
+    ``fuzz_shard`` jobs write their campaign state back into it.
     """
     payload = job.payload if isinstance(job.payload, dict) else {}
+    if job.kind == "fuzz_shard":
+        from repro.soundness.campaign import execute_shard
+
+        return execute_shard(job, cache, db_path=db_path)
     if job.kind == "analyze":
         try:
             program = parse_program(payload.get("program") or "")
@@ -518,7 +531,7 @@ def worker_main(
                 cap = job_timeout
             beat = _Heartbeat(store, job.id, owner, visibility, max_runtime=cap)
             try:
-                result = execute_job(job, cache)
+                result = execute_job(job, cache, db_path=db_path)
             except JobFailure as exc:
                 beat.stop()
                 store.nack(job.id, owner, str(exc), retryable=exc.retryable)

@@ -27,6 +27,9 @@ numbers under ``repro_*`` names — see ``render_prometheus``):
     deadline/degradation outcomes from the store plus fired
     fault-injection counters (:mod:`repro.faults`) — the numbers a chaos
     drill asserts against.
+``fuzz.{campaigns,running,shards,tallies,reproducers,quarantined,buckets}``
+    fuzzing-campaign rollup, present only when the store's SQLite file
+    also carries campaign tables (:mod:`repro.soundness.campaign`).
 """
 
 from __future__ import annotations
@@ -69,6 +72,9 @@ class ServiceMetrics:
             "service": self._service(),
             "resilience": self._resilience(),
         }
+        fuzz = self._fuzz()
+        if fuzz is not None:
+            out["fuzz"] = fuzz
         return out
 
     def _queue(self) -> dict:
@@ -80,6 +86,7 @@ class ServiceMetrics:
             "enabled": True,
             "depth": counts["queued"] + counts["leased"],
             "states": counts,
+            "kinds": self.store.counts_by_kind(),
             "enqueued_total": totals["enqueued"],
             "retried_total": totals["retried"],
             "attempts_total": totals["attempts"],
@@ -129,6 +136,19 @@ class ServiceMetrics:
             out["warm_pipelines"] = len(self.service._pipelines)
         return out
 
+    def _fuzz(self) -> "dict | None":
+        """Fuzzing-campaign rollup, when the store's SQLite file also holds
+        campaign tables (see :func:`repro.soundness.campaign.campaign_metrics`);
+        omitted entirely on queue-only deployments."""
+        if self.store is None:
+            return None
+        try:
+            from repro.soundness.campaign import campaign_metrics
+
+            return campaign_metrics(self.store.path)
+        except Exception:
+            return None
+
     def _resilience(self) -> dict:
         out: dict = {
             "faults_armed": faults.armed(),
@@ -167,6 +187,15 @@ class ServiceMetrics:
         metric(
             "repro_jobs", "gauge", "Jobs by state.",
             [({"state": s}, n) for s, n in sorted(queue.get("states", {}).items())],
+        )
+        metric(
+            "repro_jobs_by_kind", "gauge", "Jobs by kind and state.",
+            [
+                ({"kind": kind, "state": s}, n)
+                for kind, states in sorted(queue.get("kinds", {}).items())
+                for s, n in sorted(states.items())
+                if n
+            ],
         )
         metric(
             "repro_jobs_enqueued_total", "counter", "Jobs ever enqueued.",
@@ -250,6 +279,44 @@ class ServiceMetrics:
             metric(
                 "repro_warm_pipelines", "gauge", "Warm per-program pipelines.",
                 [({}, service["warm_pipelines"])],
+            )
+
+        fuzz = snap.get("fuzz")
+        if fuzz is not None:
+            metric(
+                "repro_fuzz_campaigns", "gauge",
+                "Fuzzing campaigns in the store (running subset labeled).",
+                [
+                    ({"state": "all"}, fuzz["campaigns"]),
+                    ({"state": "running"}, fuzz["running"]),
+                ],
+            )
+            metric(
+                "repro_fuzz_shards", "gauge", "Campaign shards by state.",
+                [({"state": s}, n) for s, n in sorted(fuzz["shards"].items())],
+            )
+            metric(
+                "repro_fuzz_cases_total", "counter",
+                "Campaign case verdicts by status.",
+                [
+                    ({"status": s}, n)
+                    for s, n in sorted(fuzz["tallies"].items())
+                ],
+            )
+            metric(
+                "repro_fuzz_reproducers_total", "counter",
+                "Distinct violation reproducers persisted to the corpus.",
+                [({}, fuzz["reproducers"])],
+            )
+            metric(
+                "repro_fuzz_quarantined_total", "counter",
+                "Poison cases dead-lettered into quarantine.",
+                [({}, fuzz["quarantined"])],
+            )
+            metric(
+                "repro_fuzz_buckets", "gauge",
+                "Distinct coverage buckets observed.",
+                [({}, fuzz["buckets"])],
             )
 
         res = snap["resilience"]

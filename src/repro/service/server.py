@@ -427,6 +427,18 @@ class AnalysisService:
         }
         if self.store is not None:
             out["queue_depth"] = self.store.depth()
+            try:
+                from repro.soundness.campaign import campaign_metrics
+
+                fuzz = campaign_metrics(self.store.path)
+            except Exception:
+                fuzz = None
+            if fuzz is not None:
+                out["fuzz_campaigns"] = {
+                    "campaigns": fuzz["campaigns"],
+                    "running": fuzz["running"],
+                    "shards": fuzz["shards"],
+                }
         if self.pool is not None:
             out["workers"] = {
                 "configured": self.pool.workers,

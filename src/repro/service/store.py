@@ -443,6 +443,18 @@ class JobStore:
             counts[row["state"]] = row["n"]
         return counts
 
+    def counts_by_kind(self) -> dict[str, dict[str, int]]:
+        """``{kind: {state: rows}}`` — the /metrics breakdown that
+        separates campaign shard jobs from ordinary analyses."""
+        out: dict[str, dict[str, int]] = {}
+        for row in self._conn().execute(
+            "SELECT kind, state, COUNT(*) AS n FROM jobs GROUP BY kind, state"
+        ):
+            out.setdefault(row["kind"], dict.fromkeys(JOB_STATES, 0))[
+                row["state"]
+            ] = row["n"]
+        return out
+
     def depth(self) -> int:
         """Jobs still owed work: queued + leased."""
         row = self._conn().execute(

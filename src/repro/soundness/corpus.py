@@ -1,0 +1,127 @@
+"""Content-addressed regression corpus of fuzz reproducers.
+
+A corpus directory holds one pair of files per distinct program:
+
+* ``<sha256>.appl`` — the canonical program text (the content address is
+  :func:`repro.service.cache.program_key` over exactly these bytes);
+* ``<sha256>.json`` — a metadata sidecar (seed, initial state, objective
+  valuation, moment degree, the status that put it here, free-form detail).
+
+Content addressing makes writes idempotent: a campaign shard that is
+re-delivered after a crash, or two shards minimizing to the same program,
+re-write the same bytes to the same path instead of colliding.  Writes go
+through a same-directory temp file + :func:`os.replace`, so a reader never
+observes a torn entry.
+
+Two consumers share this format:
+
+* campaign reproducer/quarantine corpora under the campaign directory
+  (:mod:`repro.soundness.campaign`), persisted *before* the shard job acks;
+* the seeded regression corpus in ``tests/data/fuzz_corpus/``, replayed by
+  the tier-1 suite so once-found reproducers stay fixed forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.programs.fuzz import FuzzCase
+from repro.service.cache import program_key
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One stored reproducer: program text plus its replay metadata."""
+
+    digest: str
+    source: str
+    meta: dict = field(hash=False, default_factory=dict)
+
+    def case(self) -> FuzzCase:
+        """Rebuild a replayable :class:`FuzzCase` from the stored entry.
+
+        Falls back to a zero valuation over the program's variables when the
+        sidecar is missing or partial, so a bare ``.appl`` file still replays.
+        """
+        valuation = dict(self.meta.get("valuation") or {})
+        if not valuation:
+            from repro.interp.vectorized import collect_variables
+            from repro.lang.parser import parse_program
+
+            valuation = {
+                name: 0.0 for name in collect_variables(parse_program(self.source))
+            }
+        initial = dict(self.meta.get("initial") or {})
+        valuation.update(initial)
+        return FuzzCase(
+            name=f"corpus-{self.digest[:12]}",
+            seed=int(self.meta.get("seed", 0)),
+            source=self.source,
+            initial=initial,
+            valuation=valuation,
+            moment_degree=int(self.meta.get("moment_degree", 2)),
+            features=tuple(self.meta.get("features") or ()),
+        )
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_entry(directory: "str | Path", source: str, meta: dict) -> CorpusEntry:
+    """Persist ``source`` (+ sidecar) under its content address; idempotent."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    digest = program_key(source)
+    _write_atomic(directory / f"{digest}.appl", source)
+    sidecar = dict(meta)
+    sidecar["sha256"] = digest
+    _write_atomic(
+        directory / f"{digest}.json",
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n",
+    )
+    return CorpusEntry(digest=digest, source=source, meta=sidecar)
+
+
+def load_corpus(directory: "str | Path") -> list[CorpusEntry]:
+    """All entries in ``directory``, digest-sorted; `[]` if it doesn't exist.
+
+    Tolerates a missing sidecar (empty metadata) and skips entries whose
+    stored text no longer matches its filename digest — a truncated file
+    must not silently replay as the wrong program.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries: list[CorpusEntry] = []
+    for appl in sorted(directory.glob("*.appl")):
+        source = appl.read_text()
+        digest = appl.stem
+        if program_key(source) != digest:
+            continue
+        meta: dict = {}
+        sidecar = directory / f"{digest}.json"
+        if sidecar.exists():
+            try:
+                meta = json.loads(sidecar.read_text())
+            except (OSError, ValueError):
+                meta = {}
+        entries.append(CorpusEntry(digest=digest, source=source, meta=meta))
+    return entries
+
+
+__all__ = ["CorpusEntry", "load_corpus", "save_entry"]

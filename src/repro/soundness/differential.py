@@ -97,6 +97,11 @@ class DifferentialConfig:
     minimize: bool = True
     #: Cap on candidate evaluations during minimization.
     minimize_budget: int = 120
+    #: Wall-clock cap in seconds on one whole minimization (``None`` =
+    #: unbounded).  Each candidate re-analysis already runs under
+    #: ``deadline_seconds``; this bounds the greedy scan itself, so a slow
+    #: violating program cannot hang a campaign shard in the shrinker.
+    minimize_seconds: "float | None" = None
     #: Per-case wall-clock deadline in seconds (``None`` = unbounded): the
     #: analysis runs under an :class:`~repro.deadline.Deadline` of this
     #: length and the simulation under a fresh one, so one pathological
@@ -500,6 +505,7 @@ def minimize_case(
     config: DifferentialConfig,
     backend: str | None = None,
     lp_reduce: "bool | None" = None,
+    lp_jobs: "int | None" = None,
 ) -> tuple[FuzzCase, int]:
     """Greedily shrink a violating case while the violation reproduces.
 
@@ -508,22 +514,36 @@ def minimize_case(
     result is 1-minimal w.r.t. the reduction operators within budget.
     ``backend`` must be the backend the violation was detected with —
     backend-specific bugs (warm-start drift) do not reproduce elsewhere.
+    Candidate re-analyses inherit ``config.deadline_seconds`` and the
+    caller's ``lp_jobs`` budget, and ``config.minimize_seconds`` caps the
+    whole scan, so minimization is bounded even on pathological programs.
     """
     best = case
     spent = 0
     improved = True
+    stop_at = (
+        None
+        if config.minimize_seconds is None
+        else time.perf_counter() + config.minimize_seconds
+    )
     while improved and spent < config.minimize_budget:
         improved = False
         for candidate_program in _shrink_candidates(best.parse()):
             if spent >= config.minimize_budget:
                 break
+            if stop_at is not None and time.perf_counter() >= stop_at:
+                return best, spent
             spent += 1
             candidate = replace(
                 best, source=canonical_program(candidate_program)
             )
             try:
                 outcome = check_case(
-                    candidate, replace(config, minimize=False), backend, lp_reduce
+                    candidate,
+                    replace(config, minimize=False),
+                    backend,
+                    lp_reduce,
+                    lp_jobs,
                 )
             except Exception:
                 continue
@@ -544,7 +564,16 @@ def _dump_violation(
 ) -> None:
     import pathlib
 
-    case_dir = pathlib.Path(out_dir) / outcome.case.name
+    from repro.service.cache import program_key
+
+    # Content-addressed by the reproducer program text: two shards (or two
+    # runs) that find the same minimized program land in the same directory
+    # and write the same bytes, instead of positional `fuzzNNNNN` names
+    # silently overwriting distinct reproducers across runs.
+    reproducer = (
+        outcome.minimized if outcome.minimized is not None else outcome.case.source
+    )
+    case_dir = pathlib.Path(out_dir) / program_key(reproducer)[:16]
     case_dir.mkdir(parents=True, exist_ok=True)
     (case_dir / "original.appl").write_text(outcome.case.source)
     # program.appl is the documented reproducer entry point: the minimized
@@ -556,6 +585,7 @@ def _dump_violation(
         json.dumps(
             {
                 "case": outcome.case.name,
+                "reproducer_sha256": program_key(reproducer),
                 "seed": outcome.case.seed,
                 "status": outcome.status,
                 "detail": outcome.detail,
@@ -635,7 +665,9 @@ def run_differential(
         )
         if outcome.status == VIOLATION:
             if config.minimize:
-                minimized, _ = minimize_case(case, config, backend, lp_reduce)
+                minimized, _ = minimize_case(
+                    case, config, backend, lp_reduce, lp_jobs
+                )
                 outcome.minimized = minimized.source
             if out_dir is not None:
                 _dump_violation(outcome, out_dir, config)

@@ -1,0 +1,188 @@
+"""Guarded out-of-process probe for suspect fuzz cases.
+
+A campaign shard that is re-delivered after a worker died mid-case treats
+the case it died on as *poison-suspect*: instead of re-running it in the
+worker (and risking another crash/OOM), it is re-checked here, in a
+disposable subprocess with hard resource limits:
+
+* ``RLIMIT_AS`` caps the address space (OOMing programs raise
+  :class:`MemoryError` or die, instead of taking the worker down);
+* ``RLIMIT_CPU`` backs up the wall-clock timeout enforced by the parent.
+
+The protocol is one JSON task on stdin, one JSON verdict on stdout.  A
+clean exit with a status means the case is innocent (the worker death had
+another cause); a non-zero exit, a signal death, or a timeout confirms the
+poison and the campaign quarantines the case with the probe's provenance.
+
+The module doubles as the executable: ``python -m repro.soundness.probe``.
+Workers are daemonic multiprocessing children and cannot fork their own
+:mod:`multiprocessing` helpers, which is why this is a plain subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from repro.programs.fuzz import FuzzCase
+from repro.soundness.differential import DifferentialConfig
+
+
+def case_to_dict(case: FuzzCase) -> dict:
+    return {
+        "name": case.name,
+        "seed": case.seed,
+        "source": case.source,
+        "initial": case.initial,
+        "valuation": case.valuation,
+        "moment_degree": case.moment_degree,
+        "features": list(case.features),
+    }
+
+
+def case_from_dict(data: dict) -> FuzzCase:
+    return FuzzCase(
+        name=str(data["name"]),
+        seed=int(data["seed"]),
+        source=str(data["source"]),
+        initial={k: float(v) for k, v in (data.get("initial") or {}).items()},
+        valuation={k: float(v) for k, v in (data.get("valuation") or {}).items()},
+        moment_degree=int(data["moment_degree"]),
+        features=tuple(data.get("features") or ()),
+    )
+
+
+def config_to_dict(config: DifferentialConfig) -> dict:
+    return {
+        "samples": config.samples,
+        "z": config.z,
+        "abs_slack": config.abs_slack,
+        "max_steps": config.max_steps,
+        "check_central": config.check_central,
+        "deadline_seconds": config.deadline_seconds,
+    }
+
+
+def config_from_dict(data: dict) -> DifferentialConfig:
+    return DifferentialConfig(
+        samples=int(data.get("samples", 4000)),
+        z=float(data.get("z", 5.0)),
+        abs_slack=float(data.get("abs_slack", 1e-6)),
+        max_steps=int(data.get("max_steps", 200_000)),
+        check_central=bool(data.get("check_central", True)),
+        minimize=False,
+        deadline_seconds=(
+            None
+            if data.get("deadline_seconds") is None
+            else float(data["deadline_seconds"])
+        ),
+    )
+
+
+def _tail(text: str, limit: int = 800) -> str:
+    text = (text or "").strip()
+    return text[-limit:]
+
+
+def probe_case(
+    case: FuzzCase,
+    config: DifferentialConfig,
+    *,
+    chaos: "dict | None" = None,
+    limits: "dict | None" = None,
+    timeout: float = 120.0,
+) -> dict:
+    """Re-check ``case`` in a guarded subprocess.
+
+    Returns ``{"ok": True, "status": ..., "detail": ...}`` when the probe
+    survives, or ``{"ok": False, "reason": ..., "stderr": ...}`` when it
+    crashes, OOMs, or times out — i.e. when the poison is confirmed.
+    """
+    task = {
+        "case": case_to_dict(case),
+        "config": config_to_dict(config),
+        "chaos": chaos,
+        "limits": limits or {},
+    }
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.soundness.probe"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        out, err = proc.communicate(json.dumps(task), timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        return {"ok": False, "reason": f"probe timeout after {timeout:g}s"}
+    if proc.returncode != 0:
+        return {
+            "ok": False,
+            "reason": f"probe exited with code {proc.returncode}",
+            "stderr": _tail(err),
+        }
+    try:
+        verdict = json.loads(out)
+    except ValueError:
+        return {
+            "ok": False,
+            "reason": "probe emitted unparseable output",
+            "stderr": _tail(err or out),
+        }
+    return {"ok": True, **verdict}
+
+
+def _apply_limits(limits: dict) -> None:
+    try:
+        import resource
+    except ImportError:  # non-POSIX: run unguarded rather than not at all
+        return
+    max_rss_mb = limits.get("max_rss_mb")
+    if max_rss_mb:
+        cap = int(max_rss_mb) << 20
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+        except (ValueError, OSError):
+            pass
+    max_cpu = limits.get("max_cpu_seconds")
+    if max_cpu:
+        cap = max(1, int(max_cpu))
+        try:
+            resource.setrlimit(resource.RLIMIT_CPU, (cap, cap + 5))
+        except (ValueError, OSError):
+            pass
+
+
+def main() -> int:
+    task = json.load(sys.stdin)
+    _apply_limits(task.get("limits") or {})
+    case = case_from_dict(task["case"])
+    chaos = task.get("chaos")
+    if chaos:
+        # Deterministic fault injection for drills: the probe must die the
+        # same way the worker did, so the quarantine path is exercised
+        # end-to-end without a genuinely pathological program.
+        from repro.soundness.campaign import chaos_check
+
+        chaos_check(case.seed, chaos)
+    from repro.soundness.differential import check_case
+
+    outcome = check_case(case, config_from_dict(task.get("config") or {}))
+    json.dump({"status": outcome.status, "detail": outcome.detail}, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = [
+    "case_from_dict",
+    "case_to_dict",
+    "config_from_dict",
+    "config_to_dict",
+    "probe_case",
+]
